@@ -1,0 +1,23 @@
+"""Shared configuration constants for the benchmark suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import Quality, TileGrid
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# The canonical experiment configuration: a 256x128 equirectangular raster
+# (scaled-down stand-in for the 4K originals), 1-second windows, a 4x8
+# angular grid (32 tiles of 32x32), and a three-rung ladder.
+WIDTH, HEIGHT = 256, 128
+FPS = 10.0
+DURATION = 10.0
+GRID = TileGrid(4, 8)
+QUALITIES = (Quality.HIGH, Quality.MEDIUM, Quality.LOWEST)
+GOP_FRAMES = 10
+VIDEOS = ("timelapse", "venice", "coaster")
+
+TRAIN_USERS = 12
+TEST_USER = 20  # evaluation viewer, disjoint from the training population

@@ -1,0 +1,82 @@
+"""E4 — storage cost of the multi-quality, tiled store.
+
+VisualCloud trades storage for delivery bandwidth: every segment exists
+at every ladder rung, and finer tilings add per-tile container and
+intra-coding overhead. This experiment sweeps ladder depth x tiling
+granularity and reports total stored bytes relative to the single-quality
+untiled baseline — the table an operator uses to size a deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IngestConfig, Quality, TileGrid, VisualCloud
+from repro.bench.harness import emit_table
+from repro.workloads.videos import synthetic_video
+
+from bench_config import RESULTS_DIR
+
+WIDTH, HEIGHT = 128, 64
+FPS = 8.0
+DURATION = 4.0
+GRIDS = [TileGrid(1, 1), TileGrid(2, 2), TileGrid(2, 4), TileGrid(4, 8)]
+LADDERS = [1, 2, 3, 4]
+
+
+def ingest_variant(db: VisualCloud, name: str, grid: TileGrid, ladder: int) -> int:
+    config = IngestConfig(
+        grid=grid, qualities=Quality.ladder(ladder), gop_frames=8, fps=FPS
+    )
+    frames = synthetic_video(
+        "venice", width=WIDTH, height=HEIGHT, fps=FPS, duration=DURATION, seed=3
+    )
+    db.ingest(name, frames, config)
+    return db.storage.total_bytes(name)
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_storage_cost(benchmark, tmp_path):
+    db = VisualCloud(tmp_path)
+    sizes: dict[tuple[str, int], int] = {}
+    for grid in GRIDS:
+        for ladder in LADDERS:
+            name = f"v_{grid.rows}x{grid.cols}_q{ladder}"
+            sizes[(f"{grid.rows}x{grid.cols}", ladder)] = ingest_variant(
+                db, name, grid, ladder
+            )
+    baseline = sizes[("1x1", 1)]
+    rows = [
+        {
+            "grid": grid_label,
+            "ladder": ladder,
+            "bytes": size,
+            "relative": round(size / baseline, 2),
+        }
+        for (grid_label, ladder), size in sizes.items()
+    ]
+    emit_table(
+        "E4: stored bytes by tiling x ladder (relative to untiled single quality)",
+        rows,
+        RESULTS_DIR / "e4_storage.txt",
+    )
+
+    # Shape checks: cost grows with ladder depth and tiling granularity,
+    # but each extra (lower-quality) rung costs less than the one above.
+    for grid_label in ("1x1", "2x2", "2x4", "4x8"):
+        ladder_sizes = [sizes[(grid_label, ladder)] for ladder in LADDERS]
+        assert ladder_sizes == sorted(ladder_sizes)
+        increments = [b - a for a, b in zip(ladder_sizes, ladder_sizes[1:])]
+        assert increments == sorted(increments, reverse=True)
+    for ladder in LADDERS:
+        assert sizes[("4x8", ladder)] > sizes[("1x1", ladder)]
+    # The full matrix costs well under (rungs x baseline): lower rungs are
+    # cheap, which is what makes the design affordable.
+    assert sizes[("4x8", 4)] < 2.5 * sizes[("4x8", 1)]
+
+    benchmark.pedantic(
+        ingest_variant,
+        args=(VisualCloud(tmp_path / "timed"), "timed", TileGrid(2, 2), 2),
+        rounds=1,
+        iterations=1,
+    )

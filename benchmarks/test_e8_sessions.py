@@ -1,0 +1,72 @@
+"""E8 — scale: concurrent sessions against one storage manager.
+
+The demo served multiple headsets from one server. This experiment runs
+growing session populations (distinct viewers, same stored video) and
+reports wall time, sessions/second, and aggregate delivered bytes. The
+expected shape: per-session cost stays flat (no cross-session state in
+the delivery engine) so total time grows linearly, and per-session bytes
+are stable across the population.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ConstantBandwidth, PredictiveTilingPolicy, SessionConfig
+from repro.bench.harness import emit_table
+from repro.workloads.users import ViewerPopulation
+
+from bench_config import DURATION, RESULTS_DIR, VIDEOS
+
+POPULATIONS = [1, 4, 16]
+VIDEO = "venice"
+
+
+def serve_population(db, traces, rate):
+    reports = []
+    for trace in traces:
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(rate),
+            predictor="static",
+            margin=0,
+        )
+        reports.append(db.serve(VIDEO, trace, config))
+    return reports
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_concurrent_sessions(benchmark, bench_db, naive_rate):
+    population = ViewerPopulation(seed=17)
+    rate = naive_rate[VIDEO]
+    rows = []
+    per_session_times = {}
+    for count in POPULATIONS:
+        traces = population.traces(count, DURATION, rate=10.0)
+        start = time.perf_counter()
+        reports = serve_population(bench_db, traces, rate)
+        elapsed = time.perf_counter() - start
+        per_session_times[count] = elapsed / count
+        total_bytes = sum(report.total_bytes for report in reports)
+        rows.append(
+            {
+                "sessions": count,
+                "wall_s": round(elapsed, 3),
+                "sessions_per_s": round(count / elapsed, 1),
+                "per_session_ms": round(1000 * elapsed / count, 1),
+                "bytes_per_session": total_bytes // count,
+                "stall_s_total": round(sum(r.stall_time for r in reports), 2),
+            }
+        )
+    emit_table("E8: session scaling", rows, RESULTS_DIR / "e8_sessions.txt")
+
+    # Shape check: per-session cost must not grow with the population
+    # (within noise) — the delivery engine is stateless across sessions.
+    assert per_session_times[16] < per_session_times[1] * 1.6
+
+    traces = population.traces(1, DURATION, rate=10.0)
+    benchmark.pedantic(
+        serve_population, args=(bench_db, traces, rate), rounds=1, iterations=1
+    )

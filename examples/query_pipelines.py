@@ -1,0 +1,73 @@
+"""Declarative query pipelines and the homomorphic planner.
+
+Run:  python examples/query_pipelines.py
+
+Shows the query layer on three workloads — a watermark overlay, an
+angular crop, and a transcode — and prints, for each, which physical
+path the planner chose (homomorphic byte moves vs. decode/re-encode).
+"""
+
+import math
+import tempfile
+
+import numpy as np
+
+from repro import IngestConfig, Quality, Scan, TileGrid, VisualCloud
+from repro.core import udfs
+from repro.workloads.videos import synthetic_video
+
+
+def describe(label: str, result) -> None:
+    stats = result.stats
+    print(f"{label}:")
+    print(f"  operator paths : {' -> '.join(stats.operator_paths)}")
+    print(
+        f"  homomorphic ops: {stats.homomorphic_ops}, decodes: {stats.decode_ops}, "
+        f"re-encodes: {stats.encode_ops}"
+    )
+
+
+def main() -> None:
+    db = VisualCloud(tempfile.mkdtemp(prefix="visualcloud-"))
+    config = IngestConfig(
+        grid=TileGrid(2, 4),
+        qualities=(Quality.HIGH, Quality.LOW),
+        gop_frames=8,
+        fps=8.0,
+    )
+    frames = synthetic_video("venice", width=128, height=64, fps=8, duration=3, seed=6)
+    db.ingest("venice", frames, config)
+
+    # 1. Watermark overlay: decode path (a pixel transformation).
+    mark = np.full((8, 24), 235, dtype=np.uint8)
+    watermark_query = (
+        Scan("venice")
+        .select(time=(0.0, 2.0))
+        .map(udfs.watermark(mark, x0=0, y0=0))
+        .store("marked")
+    )
+    describe("watermark overlay", db.execute(watermark_query))
+
+    # 2. Angular crop on tile boundaries: pure byte moves, no decode.
+    hemisphere = Scan("venice").select(theta=(0.0, math.pi), time=(0.0, 3.0))
+    describe("hemisphere select (tile-aligned)", db.execute(hemisphere))
+
+    # 3. The same crop off the grid lines: the planner must decode.
+    skewed = Scan("venice").select(theta=(0.3, math.pi - 0.3))
+    describe("hemisphere select (unaligned)", db.execute(skewed))
+
+    # 4. Mixed-quality union: high-quality front hemisphere over a
+    #    low-quality base sphere — the tile substitution the streamer
+    #    uses, expressed as a query. Homomorphic end to end.
+    base = Scan("venice", quality=Quality.LOW)
+    front = Scan("venice", quality=Quality.HIGH).select(theta=(0.0, math.pi / 2))
+    describe("mixed-quality union", db.execute(base.union(front).store("hybrid")))
+
+    # 5. Transcode: re-encode the whole video one rung down.
+    describe("transcode to LOW", db.execute(Scan("venice").encode(Quality.LOW)))
+
+    print(f"\ncatalog: {db.list_videos()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""The demo floor: many headsets, one server uplink.
+
+Run:  python examples/shared_server.py
+
+Recreates the demonstration's physical setup — several attendees watching
+the same 360 video through one server — with the shared-bottleneck
+scheduler. The uplink is sized to carry exactly two naive full-quality
+streams; the experiment shows how many viewers each delivery strategy
+actually sustains on it.
+"""
+
+import tempfile
+
+from repro import (
+    ConstantBandwidth,
+    IngestConfig,
+    NaiveFullQuality,
+    PredictiveTilingPolicy,
+    Quality,
+    SessionConfig,
+    TileGrid,
+    VisualCloud,
+)
+from repro.bench.harness import format_table
+from repro.core.multisession import SharedLinkStreamer
+from repro.stream.estimator import HarmonicMeanEstimator
+from repro.stream.network import SimulatedLink
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import synthetic_video
+
+DURATION = 8.0
+
+
+def main() -> None:
+    db = VisualCloud(tempfile.mkdtemp(prefix="visualcloud-"))
+    config = IngestConfig(
+        grid=TileGrid(4, 8),
+        qualities=(Quality.HIGH, Quality.LOWEST),
+        gop_frames=10,
+        fps=10.0,
+    )
+    print("ingesting the demo video ...")
+    frames = synthetic_video("venice", width=256, height=128, fps=10, duration=DURATION, seed=12)
+    db.ingest("demo", frames, config)
+
+    manifest = db.storage.build_manifest("demo")
+    one_stream = sum(
+        manifest.full_sphere_size(window, Quality.HIGH)
+        for window in range(manifest.window_count)
+    ) / manifest.duration
+    uplink_rate = 2.0 * one_stream
+    print(f"uplink sized for exactly 2 naive streams ({uplink_rate:.0f} B/s)\n")
+
+    population = ViewerPopulation(seed=77)
+    streamer = SharedLinkStreamer(db.storage, db.prediction)
+    rows = []
+    for label, policy_factory, use_estimator in [
+        ("naive", NaiveFullQuality, False),
+        ("predictive", PredictiveTilingPolicy, True),
+    ]:
+        for viewers in (2, 4, 6):
+            sessions = [
+                (
+                    "demo",
+                    population.trace(user, DURATION, rate=10.0),
+                    SessionConfig(
+                        policy=policy_factory(),
+                        bandwidth=ConstantBandwidth(1e9),  # ignored: shared link rules
+                        predictor="static",
+                        margin=0,
+                        estimator=HarmonicMeanEstimator() if use_estimator else None,
+                    ),
+                )
+                for user in range(viewers)
+            ]
+            reports = streamer.serve_all(
+                sessions, SimulatedLink(ConstantBandwidth(uplink_rate))
+            )
+            rows.append(
+                {
+                    "strategy": label,
+                    "viewers": viewers,
+                    "stall_s/viewer": round(
+                        sum(r.stall_time for r in reports) / viewers, 2
+                    ),
+                    "viewed@top_%": round(
+                        100 * sum(r.mean_visible_at_best for r in reports) / viewers, 1
+                    ),
+                }
+            )
+    print(format_table("viewers sharing one uplink", rows))
+    print(
+        "\nReading: naive delivery saturates the link at its design point\n"
+        "(2 viewers) and rebuffers hard beyond it; predictive tiling's\n"
+        "~2x byte savings carry roughly twice the audience on the same\n"
+        "wire, which was the demonstration's operational pitch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shared experiment-harness utilities for the benchmark suite."""
+
+from repro.bench.harness import (
+    format_bytes,
+    format_row,
+    format_table,
+    geometric_mean,
+    ratio,
+)
+
+__all__ = ["format_bytes", "format_row", "format_table", "geometric_mean", "ratio"]

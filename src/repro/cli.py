@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operational surface a deployment needs:
+
+.. code-block:: text
+
+    python -m repro ingest demo --profile venice --duration 6  --root /tmp/db
+    python -m repro ls                 --root /tmp/db
+    python -m repro info demo          --root /tmp/db
+    python -m repro serve demo --policy predictive --bandwidth 20000
+    python -m repro query demo --select-time 0:2 --grayscale --store gray
+    python -m repro export demo /tmp/demo.mp4
+    python -m repro drop demo
+
+Every command operates on the database directory given by ``--root``
+(default ``./visualcloud-db``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.errors import VisualCloudError
+from repro.core.export import export_video, import_video
+from repro.core.query import Scan
+from repro.core.server import VisualCloud
+from repro.core.storage import IngestConfig
+from repro.core.streamer import SessionConfig
+from repro.core.predictor import PREDICTOR_KINDS
+from repro.geometry.grid import TileGrid
+from repro.stream.abr import NaiveFullQuality, PredictiveTilingPolicy, UniformAdaptive
+from repro.stream.network import ConstantBandwidth
+from repro.video.quality import Quality
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import PROFILES, synthetic_video
+
+POLICIES = {
+    "naive": NaiveFullQuality,
+    "uniform": UniformAdaptive,
+    "predictive": PredictiveTilingPolicy,
+}
+
+
+def _parse_grid(text: str) -> TileGrid:
+    try:
+        rows, cols = (int(part) for part in text.lower().split("x"))
+        return TileGrid(rows, cols)
+    except (ValueError, TypeError) as error:
+        raise argparse.ArgumentTypeError(f"grid must look like 4x8, got {text!r}") from error
+
+
+def _parse_qualities(text: str) -> tuple[Quality, ...]:
+    try:
+        return tuple(Quality.from_label(label.strip()) for label in text.split(","))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def _parse_time_range(text: str) -> tuple[float, float]:
+    try:
+        start, end = (float(part) for part in text.split(":"))
+        return (start, end)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"time range must look like 0:2.5, got {text!r}"
+        ) from error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VisualCloud: a DBMS for virtual-reality (360) video",
+    )
+    parser.add_argument(
+        "--root",
+        default="./visualcloud-db",
+        help="database directory (default: ./visualcloud-db)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("ls", help="list stored videos")
+
+    ingest = commands.add_parser("ingest", help="ingest a procedural 360 video")
+    ingest.add_argument("name")
+    ingest.add_argument("--profile", choices=sorted(PROFILES), default="venice")
+    ingest.add_argument("--width", type=int, default=256)
+    ingest.add_argument("--height", type=int, default=128)
+    ingest.add_argument("--fps", type=float, default=10.0)
+    ingest.add_argument("--duration", type=float, default=6.0)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--grid", type=_parse_grid, default=TileGrid(4, 8))
+    ingest.add_argument(
+        "--qualities", type=_parse_qualities, default=(Quality.HIGH, Quality.LOWEST)
+    )
+    ingest.add_argument("--gop-frames", type=int, default=10)
+
+    info = commands.add_parser("info", help="show a video's metadata")
+    info.add_argument("name")
+    info.add_argument("--version", type=int, default=None)
+
+    serve = commands.add_parser("serve", help="stream to a simulated viewer")
+    serve.add_argument("name")
+    serve.add_argument("--policy", choices=sorted(POLICIES), default="predictive")
+    serve.add_argument("--predictor", choices=PREDICTOR_KINDS, default="static")
+    serve.add_argument("--bandwidth", type=float, default=20_000.0, help="bytes/second")
+    serve.add_argument("--margin", type=int, default=0)
+    serve.add_argument("--viewer-seed", type=int, default=0)
+    serve.add_argument("--probe", action="store_true", help="compute viewport PSNR")
+
+    query = commands.add_parser("query", help="run a fixed query pipeline")
+    query.add_argument("name")
+    query.add_argument("--select-time", type=_parse_time_range, default=None)
+    query.add_argument("--grayscale", action="store_true")
+    query.add_argument("--invert", action="store_true")
+    query.add_argument("--store", default=None, help="store the result under this name")
+
+    vrql = commands.add_parser("vrql", help="run a textual VRQL query")
+    vrql.add_argument(
+        "text",
+        help='e.g. "SCAN(venice) >> SELECT(time=0:2) >> MAP(grayscale) >> STORE(out)"',
+    )
+
+    export = commands.add_parser("export", help="flatten one quality to a single file")
+    export.add_argument("name")
+    export.add_argument("output")
+    export.add_argument("--quality", type=Quality.from_label, default=None)
+
+    imported = commands.add_parser("import", help="ingest an exported file")
+    imported.add_argument("name")
+    imported.add_argument("input")
+
+    drop = commands.add_parser("drop", help="remove a video and its segments")
+    drop.add_argument("name")
+
+    vacuum = commands.add_parser(
+        "vacuum", help="drop old versions and unreferenced segment files"
+    )
+    vacuum.add_argument("name")
+    vacuum.add_argument("--keep", type=int, default=1, help="versions to retain")
+
+    commands.add_parser("stats", help="catalog and cache statistics")
+
+    return parser
+
+
+def _command_ls(db: VisualCloud, args) -> None:
+    videos = db.list_videos()
+    if not videos:
+        print("(no videos)")
+        return
+    for name in videos:
+        meta = db.meta(name)
+        print(
+            f"{name}  v{meta.version}  {meta.duration:.1f}s  "
+            f"{meta.width}x{meta.height}@{meta.fps:g}fps  "
+            f"grid {meta.grid.rows}x{meta.grid.cols}  "
+            f"ladder [{', '.join(quality.label for quality in meta.qualities)}]"
+        )
+
+
+def _command_ingest(db: VisualCloud, args) -> None:
+    config = IngestConfig(
+        grid=args.grid,
+        qualities=args.qualities,
+        gop_frames=args.gop_frames,
+        fps=args.fps,
+    )
+    frames = synthetic_video(
+        args.profile,
+        width=args.width,
+        height=args.height,
+        fps=args.fps,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    meta = db.ingest(args.name, frames, config)
+    print(
+        f"ingested {args.name!r}: {meta.gop_count} windows, "
+        f"{db.storage.total_bytes(args.name)} bytes stored"
+    )
+
+
+def _command_info(db: VisualCloud, args) -> None:
+    meta = db.meta(args.name, args.version)
+    print(f"name        : {meta.name}")
+    print(f"version     : {meta.version} (streaming={meta.streaming})")
+    print(f"dimensions  : {meta.width}x{meta.height} @ {meta.fps:g} fps")
+    print(f"projection  : {meta.projection}")
+    print(f"duration    : {meta.duration:.2f}s in {meta.gop_count} windows")
+    print(f"grid        : {meta.grid.rows}x{meta.grid.cols} tiles")
+    print(f"ladder      : {', '.join(quality.label for quality in meta.qualities)}")
+    print(f"segments    : {len(meta.entries)}")
+    print(f"stored bytes: {db.storage.total_bytes(args.name, args.version)}")
+
+
+def _command_serve(db: VisualCloud, args) -> None:
+    meta = db.meta(args.name)
+    trace = ViewerPopulation(seed=args.viewer_seed).trace(
+        0, duration=meta.duration, rate=10.0
+    )
+    config = SessionConfig(
+        policy=POLICIES[args.policy](),
+        bandwidth=ConstantBandwidth(args.bandwidth),
+        predictor=args.predictor,
+        margin=args.margin,
+        evaluate_quality=args.probe,
+    )
+    report = db.serve(args.name, trace, config)
+    for key, value in report.summary().items():
+        print(f"{key:>18}: {value}")
+
+
+def _command_query(db: VisualCloud, args) -> None:
+    from repro.core import udfs
+
+    expr = Scan(args.name)
+    if args.select_time is not None:
+        expr = expr.select(time=args.select_time)
+    if args.grayscale:
+        expr = expr.map(udfs.grayscale)
+    if args.invert:
+        expr = expr.map(udfs.invert)
+    if args.store:
+        expr = expr.store(args.store)
+    result = db.execute(expr)
+    print("plan:", " -> ".join(result.stats.operator_paths))
+    print(
+        f"homomorphic ops: {result.stats.homomorphic_ops}, "
+        f"decodes: {result.stats.decode_ops}, re-encodes: {result.stats.encode_ops}"
+    )
+    if args.store:
+        print(f"stored as {args.store!r}")
+
+
+def _command_vrql(db: VisualCloud, args) -> None:
+    result = db.vrql(args.text)
+    print("plan:", " -> ".join(result.stats.operator_paths))
+    print(
+        f"homomorphic ops: {result.stats.homomorphic_ops}, "
+        f"decodes: {result.stats.decode_ops}, re-encodes: {result.stats.encode_ops}"
+    )
+
+
+def _command_export(db: VisualCloud, args) -> None:
+    written = export_video(db.storage, args.name, args.output, quality=args.quality)
+    print(f"wrote {written} bytes to {args.output}")
+
+
+def _command_import(db: VisualCloud, args) -> None:
+    meta = import_video(db.storage, args.name, args.input)
+    print(f"imported {args.name!r}: {meta.gop_count} windows at v{meta.version}")
+
+
+def _command_drop(db: VisualCloud, args) -> None:
+    db.drop(args.name)
+    print(f"dropped {args.name!r}")
+
+
+def _command_vacuum(db: VisualCloud, args) -> None:
+    files, freed = db.vacuum(args.name, keep_versions=args.keep)
+    print(f"vacuumed {args.name!r}: removed {files} files, freed {freed} bytes")
+
+
+def _command_stats(db: VisualCloud, args) -> None:
+    snapshot = db.stats()
+    for name, info in snapshot["videos"].items():
+        print(
+            f"{name}: v{info['version']} ({info['versions']} versions), "
+            f"{info['duration_s']}s, {info['bytes']} bytes, "
+            f"{info['segments']} segments"
+        )
+    cache = snapshot["cache"]
+    if cache is None:
+        print("cache: disabled")
+    else:
+        hit_rate = cache["hit_rate"]
+        rendered = "n/a" if hit_rate != hit_rate else f"{100 * hit_rate:.1f}%"
+        print(
+            f"cache: {cache['entries']} entries, {cache['bytes']}/{cache['capacity']} "
+            f"bytes, hit rate {rendered}, {cache['evictions']} evictions"
+        )
+
+
+_COMMANDS = {
+    "ls": _command_ls,
+    "ingest": _command_ingest,
+    "info": _command_info,
+    "serve": _command_serve,
+    "query": _command_query,
+    "vrql": _command_vrql,
+    "export": _command_export,
+    "import": _command_import,
+    "drop": _command_drop,
+    "vacuum": _command_vacuum,
+    "stats": _command_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = VisualCloud(Path(args.root))
+    try:
+        _COMMANDS[args.command](db, args)
+    except VisualCloudError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head);
+        # that is the consumer's prerogative, not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""VisualCloud core: the DBMS built on the substrates.
+
+* :mod:`repro.core.storage` — the storage manager: spatiotemporal
+  segmentation, multi-quality encoding, versioned no-overwrite metadata,
+  GOP/tile indexes.
+* :mod:`repro.core.predictor` — the prediction service the server trains
+  offline and instantiates per session.
+* :mod:`repro.core.streamer` — the delivery engine: per-window predict /
+  assign / transfer loop producing QoE reports.
+* :mod:`repro.core.query` — the declarative query layer with a rule-based
+  planner that substitutes homomorphic physical operators.
+* :mod:`repro.core.server` — the :class:`VisualCloud` facade tying the
+  pieces together.
+"""
+
+from repro.core.cache import LruSegmentCache
+from repro.core.errors import (
+    CatalogError,
+    QueryError,
+    SegmentNotFoundError,
+    VisualCloudError,
+)
+from repro.core.export import decode_export, export_video, import_video
+from repro.core.multisession import SharedLinkStreamer
+from repro.core.popularity import StoragePlanner, tile_popularity
+from repro.core.query import QueryExecutor, Scan
+from repro.core.server import VisualCloud
+from repro.core.storage import IngestConfig, StorageManager, VideoMeta
+from repro.core.streamer import SessionConfig, Streamer
+from repro.core.vrql import format_expr, parse as parse_vrql
+
+__all__ = [
+    "CatalogError",
+    "IngestConfig",
+    "LruSegmentCache",
+    "QueryError",
+    "QueryExecutor",
+    "Scan",
+    "SegmentNotFoundError",
+    "SessionConfig",
+    "SharedLinkStreamer",
+    "StoragePlanner",
+    "StorageManager",
+    "Streamer",
+    "VideoMeta",
+    "VisualCloud",
+    "VisualCloudError",
+    "decode_export",
+    "export_video",
+    "format_expr",
+    "import_video",
+    "parse_vrql",
+    "tile_popularity",
+]

@@ -1,0 +1,114 @@
+"""The in-memory segment cache (the architecture's buffer pool).
+
+The storage manager serves every session from per-segment files; with many
+concurrent viewers of the same content, the same high-quality equatorial
+segments are read over and over. This cache holds recently used segment
+bytes under a byte-capacity bound with least-recently-used eviction —
+buffering at GOP granularity improves temporal locality exactly as the
+paper's buffer-pool design argues.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return float("nan")
+        return self.hits / self.requests
+
+
+class LruSegmentCache:
+    """A byte-bounded LRU cache for encoded segment payloads.
+
+    Keys are arbitrary hashable segment identities; values are ``bytes``.
+    A single value larger than the capacity is never admitted (it would
+    evict the whole working set for one read).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._size = 0
+        # One storage manager serves many sessions; gets and puts race.
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def get(self, key: Hashable) -> bytes | None:
+        """The cached payload, refreshed to most-recently-used; else None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: bytes) -> None:
+        """Insert (or refresh) a payload, evicting LRU entries to fit."""
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"cache values must be bytes, got {type(value).__name__}")
+        value = bytes(value)
+        if len(value) > self.capacity_bytes:
+            return  # oversized: serve uncached rather than thrash
+        with self._lock:
+            if key in self._entries:
+                self._size -= len(self._entries.pop(key))
+            while self._size + len(value) > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._size -= len(evicted)
+                self.stats.evictions += 1
+            self._entries[key] = value
+            self._size += len(value)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry if present (used when a video is dropped)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._size -= len(entry)
+
+    def invalidate_prefix(self, prefix: Hashable) -> None:
+        """Drop every entry whose key is a tuple starting with ``prefix``."""
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == prefix
+            ]
+            for key in doomed:
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._size -= len(entry)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._size = 0

@@ -1,0 +1,112 @@
+"""The video catalog: names, versions, and on-disk layout.
+
+Each video occupies one directory under the catalog root:
+
+.. code-block:: text
+
+    <root>/<name>/
+        metadata_v1.mp4     one MP4-style metadata file per version
+        metadata_v2.mp4
+        segments/           encoded tile segments, shared across versions
+            g00000_r0_c0_high_v1.seg
+
+Metadata files are never overwritten: a new STORE writes ``metadata_v{n+1}``
+and only the segment files that actually changed, pointing at prior
+versions' files for everything else (track-granularity copy-on-write).
+Readers therefore get snapshot isolation for free — a version, once
+written, never changes underneath them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.errors import CatalogError
+from repro.video.quality import Quality
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
+_METADATA_PATTERN = re.compile(r"^metadata_v(\d+)\.mp4$")
+
+
+def segment_file_name(
+    gop: int, tile: tuple[int, int], quality: Quality, version: int
+) -> str:
+    """Canonical file name for one encoded tile segment."""
+    row, col = tile
+    return f"g{gop:05d}_r{row}_c{col}_{quality.label}_v{version}.seg"
+
+
+class Catalog:
+    """Directory-backed name/version bookkeeping."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def validate_name(self, name: str) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise CatalogError(
+                f"invalid video name {name!r}: use letters, digits, '_', '.', '-'"
+            )
+
+    def video_dir(self, name: str) -> Path:
+        self.validate_name(name)
+        return self.root / name
+
+    def segments_dir(self, name: str) -> Path:
+        return self.video_dir(name) / "segments"
+
+    def exists(self, name: str) -> bool:
+        return self.video_dir(name).is_dir()
+
+    def list_videos(self) -> list[str]:
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_PATTERN.match(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """All committed versions of a video, ascending."""
+        directory = self.video_dir(name)
+        if not directory.is_dir():
+            raise CatalogError(f"video {name!r} does not exist")
+        found = []
+        for entry in directory.iterdir():
+            match = _METADATA_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        if not found:
+            raise CatalogError(f"video {name!r} has no committed versions")
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        return self.versions(name)[-1]
+
+    def metadata_path(self, name: str, version: int) -> Path:
+        return self.video_dir(name) / f"metadata_v{version}.mp4"
+
+    def segment_path(
+        self, name: str, gop: int, tile: tuple[int, int], quality: Quality, version: int
+    ) -> Path:
+        return self.segments_dir(name) / segment_file_name(gop, tile, quality, version)
+
+    def create(self, name: str) -> None:
+        """Reserve a video directory (no versions yet)."""
+        directory = self.video_dir(name)
+        if directory.exists():
+            raise CatalogError(f"video {name!r} already exists")
+        (directory / "segments").mkdir(parents=True)
+
+    def drop(self, name: str) -> None:
+        """Remove a video and all of its versions and segments."""
+        directory = self.video_dir(name)
+        if not directory.is_dir():
+            raise CatalogError(f"video {name!r} does not exist")
+        for path in sorted(directory.rglob("*"), reverse=True):
+            if path.is_file():
+                path.unlink()
+            else:
+                path.rmdir()
+        directory.rmdir()

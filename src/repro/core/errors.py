@@ -1,0 +1,27 @@
+"""Exception hierarchy for the VisualCloud core.
+
+Substrate packages raise stdlib exceptions (``ValueError`` for bad
+arguments, ``KeyError`` for missing pieces); the core wraps conditions
+that cross component boundaries in these types so applications can catch
+database-level failures without also catching programming errors.
+"""
+
+
+class VisualCloudError(Exception):
+    """Base class for all VisualCloud database errors."""
+
+
+class CatalogError(VisualCloudError):
+    """A named video does not exist, already exists, or has no such version."""
+
+
+class SegmentNotFoundError(VisualCloudError):
+    """A (window, tile, quality) segment is absent from the store."""
+
+
+class IngestError(VisualCloudError):
+    """A video could not be ingested (bad dimensions, empty source, ...)."""
+
+
+class QueryError(VisualCloudError):
+    """A declarative query is malformed or cannot be planned."""

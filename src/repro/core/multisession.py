@@ -1,0 +1,178 @@
+"""Multi-session delivery over a shared bottleneck link.
+
+The single-session streamer gives every viewer a private link; a real
+edge server multiplexes all of its viewers over one uplink. This module
+schedules many sessions' window transfers on a *shared*
+:class:`repro.stream.network.SimulatedLink`, processing requests in
+arrival order, so contention — the queueing delay one viewer's bytes
+impose on another's — is modelled rather than assumed away.
+
+The per-window logic is the single-session streamer's, restructured as a
+resumable state machine so sessions interleave at window granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.storage import StorageManager
+from repro.core.predictor import PredictionService
+from repro.core.streamer import SessionConfig, Streamer
+from repro.predict.traces import Trace
+from repro.stream.abr import estimate_budget
+from repro.stream.network import SimulatedLink
+from repro.stream.qoe import QoEReport, WindowRecord
+
+
+@dataclass
+class _SessionState:
+    """One viewer's progress through their video."""
+
+    name: str
+    trace: Trace
+    config: SessionConfig
+    manifest: object
+    predictor: object
+    start_offset: float  # wall time the session begins
+    next_window: int = 0
+    trace_cursor: int = 0
+    starts: list[float] = field(default_factory=list)
+    records: list[WindowRecord] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.next_window >= self.manifest.window_count
+
+    def next_request_time(self, link_busy_until: float) -> float:
+        """When this session wants its next window on the wire."""
+        duration = self.manifest.window_duration
+        if self.next_window == 0:
+            return max(self.start_offset, 0.0)
+        due = self.starts[-1] + duration
+        return max(link_busy_until, due - self.config.buffer_windows * duration)
+
+
+class SharedLinkStreamer:
+    """Serves many sessions over one shared link, in request order."""
+
+    def __init__(self, storage: StorageManager, prediction: PredictionService) -> None:
+        self.storage = storage
+        self.prediction = prediction
+        self._single = Streamer(storage, prediction)
+
+    def serve_all(
+        self,
+        sessions: list[tuple[str, Trace, SessionConfig]],
+        link: SimulatedLink,
+        start_offsets: list[float] | None = None,
+    ) -> list[QoEReport]:
+        """Run every session to completion over the shared ``link``.
+
+        ``start_offsets`` staggers session arrivals (default: all at 0).
+        Returns one QoE report per session, in input order.
+        """
+        if not sessions:
+            raise ValueError("no sessions to serve")
+        offsets = start_offsets or [0.0] * len(sessions)
+        if len(offsets) != len(sessions):
+            raise ValueError(
+                f"{len(offsets)} start offsets for {len(sessions)} sessions"
+            )
+        states = []
+        for (name, trace, config), offset in zip(sessions, offsets):
+            manifest = self.storage.build_manifest(name)
+            predictor = self.prediction.session_predictor(
+                config.predictor, video=name, grid=manifest.grid, trace=trace
+            )
+            predictor.reset()
+            if config.estimator is not None:
+                config.estimator.reset()
+            states.append(
+                _SessionState(
+                    name=name,
+                    trace=trace,
+                    config=config,
+                    manifest=manifest,
+                    predictor=predictor,
+                    start_offset=float(offset),
+                )
+            )
+
+        pending = [state for state in states if not state.finished]
+        while pending:
+            # Earliest requester wins the link next — FIFO service.
+            state = min(pending, key=lambda s: s.next_request_time(link.busy_until))
+            self._serve_one_window(state, link)
+            pending = [state for state in states if not state.finished]
+        return [QoEReport(state.records) for state in states]
+
+    def _serve_one_window(self, state: _SessionState, link: SimulatedLink) -> None:
+        config = state.config
+        manifest = state.manifest
+        duration = manifest.window_duration
+        window = state.next_window
+        window_start, window_end = manifest.window_interval(window)
+        request_time = state.next_request_time(link.busy_until)
+
+        # Media time within *this* session: wall time minus its playback
+        # schedule, exactly as in the single-session streamer.
+        media_now = Streamer._media_time(
+            [start - state.start_offset for start in state.starts],
+            duration,
+            request_time - state.start_offset,
+        )
+        state.trace_cursor = Streamer._observe(
+            state.predictor, state.trace, state.trace_cursor, media_now
+        )
+        predicted = self._single._predicted_tiles(
+            state.predictor, manifest, config, window_start, window_end
+        )
+        # In shared mode the session's own bandwidth model is ignored: the
+        # wire is the shared link. Without an estimator a session reads the
+        # link's raw capacity — optimistic, since it ignores contention —
+        # which is precisely why estimators matter under sharing.
+        if config.estimator is not None and config.estimator.estimate() is not None:
+            bandwidth_estimate = config.estimator.estimate()
+        else:
+            bandwidth_estimate = link.model.rate_at(request_time)
+        budget = estimate_budget(bandwidth_estimate, duration, config.safety)
+        quality_map = config.policy.assign(manifest, window, predicted, budget)
+        quality_map = {
+            tile: manifest.resolve(window, tile, quality)
+            for tile, quality in quality_map.items()
+        }
+        size = manifest.window_size(window, quality_map)
+        transfer_start = max(request_time, link.busy_until)
+        delivered = link.transfer(size, request_time)
+        if config.estimator is not None:
+            config.estimator.observe(size, delivered - transfer_start)
+
+        if window == 0:
+            playback_start, stall = delivered, 0.0
+        else:
+            nominal = state.starts[-1] + duration
+            playback_start = max(nominal, delivered)
+            stall = playback_start - nominal
+        state.starts.append(playback_start)
+
+        visible = self._single._actual_visible(
+            state.trace, manifest, config, window_start, window_end
+        )
+        state.records.append(
+            WindowRecord(
+                window=window,
+                decision_time=request_time,
+                request_time=request_time,
+                delivered_time=delivered,
+                playback_start=playback_start,
+                stall_seconds=stall,
+                bytes_sent=size,
+                quality_map=quality_map,
+                predicted_tiles=predicted,
+                ladder_best=manifest.best_quality,
+                visible_tiles=visible,
+            )
+        )
+        state.next_window += 1

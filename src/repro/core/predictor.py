@@ -1,0 +1,85 @@
+"""The server-side prediction service.
+
+The streamer does not construct predictors directly: sessions ask this
+service for one by kind, and the service injects whatever offline state
+the kind needs — the Markov predictor's per-video transition matrix
+(trained from historical traces of other viewers of the same content) or
+the oracle's ground-truth trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import TileGrid
+from repro.predict.predictors import (
+    DeadReckoningPredictor,
+    HybridPredictor,
+    LinearRegressionPredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    Predictor,
+    StaticPredictor,
+)
+from repro.predict.traces import Trace
+
+PREDICTOR_KINDS = ("static", "deadreckoning", "linear", "hybrid", "markov", "oracle")
+
+
+class PredictionService:
+    """Creates per-session predictors and holds trained per-video priors."""
+
+    def __init__(self, markov_step: float = 0.5, markov_coverage: float = 0.9) -> None:
+        self.markov_step = markov_step
+        self.markov_coverage = markov_coverage
+        self._trained: dict[tuple[str, TileGrid], np.ndarray] = {}
+
+    def train(self, video: str, grid: TileGrid, traces: list[Trace]) -> None:
+        """Train the Markov prior for one video from a trace corpus."""
+        trainer = MarkovPredictor(grid, step_duration=self.markov_step)
+        trainer.train(traces)
+        self._trained[(video, grid)] = trainer.transitions
+
+    def is_trained(self, video: str, grid: TileGrid) -> bool:
+        return (video, grid) in self._trained
+
+    def session_predictor(
+        self,
+        kind: str,
+        video: str | None = None,
+        grid: TileGrid | None = None,
+        trace: Trace | None = None,
+    ) -> Predictor:
+        """A fresh predictor for one session.
+
+        ``video``/``grid`` are required for ``markov`` (to look up the
+        trained matrix); ``trace`` is required for ``oracle``.
+        """
+        if kind == "static":
+            return StaticPredictor()
+        if kind == "deadreckoning":
+            return DeadReckoningPredictor()
+        if kind == "linear":
+            return LinearRegressionPredictor()
+        if kind == "hybrid":
+            return HybridPredictor()
+        if kind == "markov":
+            if video is None or grid is None:
+                raise ValueError("markov predictor requires video and grid")
+            key = (video, grid)
+            if key not in self._trained:
+                raise ValueError(
+                    f"no trained Markov model for video {video!r} on {grid.rows}x"
+                    f"{grid.cols}; call PredictionService.train first"
+                )
+            return MarkovPredictor.from_transitions(
+                grid,
+                self._trained[key],
+                step_duration=self.markov_step,
+                coverage=self.markov_coverage,
+            )
+        if kind == "oracle":
+            if trace is None:
+                raise ValueError("oracle predictor requires the ground-truth trace")
+            return OraclePredictor(trace)
+        raise ValueError(f"unknown predictor kind {kind!r}; choose from {PREDICTOR_KINDS}")

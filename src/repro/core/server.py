@@ -1,0 +1,109 @@
+"""The VisualCloud facade: one object that is the database.
+
+Applications interact with three verbs:
+
+* ``ingest`` — feed frames in, get a segmented, multi-quality, indexed
+  store back;
+* ``serve`` — run an adaptive streaming session against a viewer trace
+  and get a QoE report;
+* ``execute`` — run a declarative query over stored videos.
+
+Everything else (training predictors, building manifests, catalog
+management) hangs off the same object.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.predictor import PredictionService
+from repro.core.query import Expr, QueryExecutor, QueryResult
+from repro.core.storage import IngestConfig, StorageManager, VideoMeta
+from repro.core.streamer import SessionConfig, Streamer
+from repro.predict.traces import Trace
+from repro.stream.qoe import QoEReport
+from repro.video.frame import Frame
+
+
+class VisualCloud:
+    """A VisualCloud database instance rooted at a directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.storage = StorageManager(root)
+        self.prediction = PredictionService()
+        self.streamer = Streamer(self.storage, self.prediction)
+        self.executor = QueryExecutor(self.storage)
+
+    # -- catalog ------------------------------------------------------------
+
+    def list_videos(self) -> list[str]:
+        return self.storage.list_videos()
+
+    def exists(self, name: str) -> bool:
+        return self.storage.exists(name)
+
+    def drop(self, name: str) -> None:
+        self.storage.drop(name)
+
+    def meta(self, name: str, version: int | None = None) -> VideoMeta:
+        return self.storage.meta(name, version)
+
+    def vacuum(self, name: str, keep_versions: int = 1) -> tuple[int, int]:
+        """Garbage-collect old versions; returns (files deleted, bytes freed)."""
+        return self.storage.vacuum(name, keep_versions)
+
+    def stats(self) -> dict:
+        """Operational snapshot of the catalog and the segment cache."""
+        return self.storage.stats()
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(
+        self,
+        name: str,
+        frames: Iterable[Frame],
+        config: IngestConfig | None = None,
+        streaming: bool = False,
+        quality_plan: dict | None = None,
+    ) -> VideoMeta:
+        """Segment, encode at the ladder, index, and commit a video.
+
+        ``quality_plan`` optionally restricts materialised rungs per tile
+        (see :mod:`repro.core.popularity`).
+        """
+        return self.storage.ingest(
+            name, frames, config or IngestConfig(), streaming, quality_plan
+        )
+
+    def append(self, name: str, frames: Iterable[Frame]) -> VideoMeta:
+        """Extend a live video with newly arrived frames."""
+        return self.storage.append(name, frames)
+
+    # -- prediction ---------------------------------------------------------------
+
+    def train_predictor(self, name: str, traces: list[Trace]) -> None:
+        """Train the per-video Markov prior from historical viewer traces."""
+        meta = self.storage.meta(name)
+        self.prediction.train(name, meta.grid, traces)
+
+    # -- delivery -------------------------------------------------------------------
+
+    def serve(self, name: str, trace: Trace, config: SessionConfig) -> QoEReport:
+        """Stream a stored video to one simulated viewer."""
+        return self.streamer.serve(name, trace, config)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def execute(self, query: Expr) -> QueryResult:
+        """Run a declarative query (see :mod:`repro.core.query`)."""
+        return self.executor.execute(query)
+
+    def vrql(self, text: str) -> QueryResult:
+        """Parse and run a textual VRQL query (see :mod:`repro.core.vrql`).
+
+        >>> db.vrql("SCAN(venice) >> SELECT(time=0:2) >> STORE(head)")
+        """
+        from repro.core.vrql import parse
+
+        return self.executor.execute(parse(text))

@@ -1,0 +1,721 @@
+"""The VisualCloud storage manager.
+
+Ingests 360-degree video, segments it spatiotemporally (GOP-length
+temporal windows x an angular tile grid), encodes every segment at every
+rung of a quality ladder, and persists the result under the catalog with
+MP4-style metadata. Reads are selective: any (window, tile, quality)
+segment is one file access, found through the metadata's GOP index.
+
+Writes are no-overwrite and versioned: re-storing a video writes only the
+changed segments plus a new metadata file whose index points at old files
+for unchanged content. Readers of an existing version are unaffected —
+snapshot isolation by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.catalog import Catalog
+from repro.core.errors import CatalogError, IngestError, SegmentNotFoundError
+from repro.geometry.grid import TileGrid
+from repro.stream.dash import Manifest, SegmentKey
+from repro.video.frame import Frame
+from repro.video.mp4 import (
+    Atom,
+    Mp4File,
+    make_ftyp,
+    make_mvhd,
+    make_stsd,
+    make_stss,
+    make_sv3d,
+    parse_mvhd,
+    parse_stsd,
+    parse_stss,
+    parse_sv3d,
+)
+from repro.video.quality import Quality
+from repro.video.tiles import TiledGop, TiledVideoCodec
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """How a video is segmented and encoded at ingest time."""
+
+    grid: TileGrid = TileGrid(4, 4)
+    qualities: tuple[Quality, ...] = (Quality.HIGH, Quality.LOW)
+    gop_frames: int = 30
+    fps: float = 30.0
+    projection: str = "equirectangular"
+
+    def __post_init__(self) -> None:
+        if self.gop_frames < 1:
+            raise ValueError(f"gop_frames must be >= 1, got {self.gop_frames}")
+        if self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+        if not self.qualities:
+            raise ValueError("at least one quality is required")
+        if list(self.qualities) != sorted(self.qualities, reverse=True):
+            raise ValueError("qualities must be ordered best first")
+
+    @property
+    def gop_duration(self) -> float:
+        return self.gop_frames / self.fps
+
+
+@dataclass(frozen=True)
+class SegmentEntry:
+    """Index entry for one stored segment: where and how big."""
+
+    size: int
+    file_version: int  # the version whose STORE wrote the bytes
+
+
+@dataclass
+class VideoMeta:
+    """Parsed metadata for one version of one stored video."""
+
+    name: str
+    version: int
+    width: int
+    height: int
+    fps: float
+    grid: TileGrid
+    gop_frames: int
+    qualities: tuple[Quality, ...]
+    projection: str
+    streaming: bool
+    gop_frame_counts: list[int]
+    entries: dict[tuple[int, tuple[int, int], Quality], SegmentEntry] = field(
+        default_factory=dict
+    )
+
+    @property
+    def gop_count(self) -> int:
+        return len(self.gop_frame_counts)
+
+    @property
+    def gop_duration(self) -> float:
+        return self.gop_frames / self.fps
+
+    @property
+    def duration(self) -> float:
+        return sum(self.gop_frame_counts) / self.fps
+
+    def gop_start_time(self, gop: int) -> float:
+        if not 0 <= gop < self.gop_count:
+            raise IndexError(f"GOP {gop} outside [0, {self.gop_count})")
+        return sum(self.gop_frame_counts[:gop]) / self.fps
+
+    def gops_overlapping(self, t0: float, t1: float) -> list[int]:
+        """GOP indices whose playback interval intersects ``[t0, t1)`` —
+        the temporal (stss-style) index lookup."""
+        if t1 <= t0:
+            raise ValueError(f"empty temporal range [{t0}, {t1})")
+        result = []
+        start = 0.0
+        for gop, frames in enumerate(self.gop_frame_counts):
+            end = start + frames / self.fps
+            if start < t1 and end > t0:
+                result.append(gop)
+            start = end
+        return result
+
+
+# -- metadata (de)serialisation ------------------------------------------------
+
+_VINF = struct.Struct(">HHdBBHIB B")  # w, h, fps, rows, cols, gop_frames, version, streaming, qcount
+
+
+def _build_metadata_file(meta: VideoMeta) -> Mp4File:
+    vinf_payload = _VINF.pack(
+        meta.width,
+        meta.height,
+        meta.fps,
+        meta.grid.rows,
+        meta.grid.cols,
+        meta.gop_frames,
+        meta.version,
+        1 if meta.streaming else 0,
+        len(meta.qualities),
+    )
+    vinf_payload += bytes(quality.rank for quality in meta.qualities)
+    vinf_payload += struct.pack(">I", meta.gop_count)
+    vinf_payload += b"".join(struct.pack(">H", count) for count in meta.gop_frame_counts)
+
+    vcld = Atom(
+        "vcld",
+        children=[Atom("vinf", payload=vinf_payload), make_sv3d(meta.projection)],
+    )
+    traks = []
+    tile_width = meta.width // meta.grid.cols
+    tile_height = meta.height // meta.grid.rows
+    for tile in meta.grid.tiles():
+        for quality in meta.qualities:
+            entries = []
+            for gop in range(meta.gop_count):
+                entry = meta.entries.get((gop, tile, quality))
+                if entry is None:
+                    continue
+                time_ms = int(round(meta.gop_start_time(gop) * 1000))
+                entries.append((time_ms, entry.file_version, entry.size))
+            if not entries:
+                continue
+            traks.append(
+                Atom(
+                    "trak",
+                    children=[
+                        make_stsd("vcbd", tile_width, tile_height, meta.fps, quality.label),
+                        Atom("tloc", payload=struct.pack(">BB", *tile)),
+                        make_stss(entries),
+                    ],
+                )
+            )
+    moov = Atom(
+        "moov",
+        children=[make_mvhd(1000, int(round(meta.duration * 1000))), vcld] + traks,
+    )
+    return Mp4File(atoms=[make_ftyp("vcld"), moov])
+
+
+def _parse_metadata_file(name: str, data: bytes) -> VideoMeta:
+    mp4 = Mp4File.parse(data)
+    moov = mp4.find("moov")
+    if moov is None:
+        raise CatalogError(f"metadata for {name!r} has no moov atom")
+    vinf = moov.find("vcld.vinf")
+    sv3d = moov.find("vcld.sv3d")
+    if vinf is None or sv3d is None:
+        raise CatalogError(f"metadata for {name!r} is missing VisualCloud atoms")
+    (
+        width,
+        height,
+        fps,
+        rows,
+        cols,
+        gop_frames,
+        version,
+        streaming,
+        quality_count,
+    ) = _VINF.unpack_from(vinf.payload)
+    offset = _VINF.size
+    ranks = vinf.payload[offset : offset + quality_count]
+    offset += quality_count
+    (gop_count,) = struct.unpack_from(">I", vinf.payload, offset)
+    offset += 4
+    frame_counts = [
+        struct.unpack_from(">H", vinf.payload, offset + 2 * i)[0] for i in range(gop_count)
+    ]
+    all_qualities = list(Quality)
+    meta = VideoMeta(
+        name=name,
+        version=version,
+        width=width,
+        height=height,
+        fps=fps,
+        grid=TileGrid(rows, cols),
+        gop_frames=gop_frames,
+        qualities=tuple(all_qualities[rank] for rank in ranks),
+        projection=parse_sv3d(sv3d),
+        streaming=bool(streaming),
+        gop_frame_counts=frame_counts,
+    )
+    gop_duration_ms = gop_frames / fps * 1000
+    for trak in moov.find_all("trak"):
+        stsd = trak.find("stsd")
+        tloc = trak.find("tloc")
+        stss = trak.find("stss")
+        if stsd is None or tloc is None or stss is None:
+            raise CatalogError(f"metadata for {name!r} has an incomplete trak")
+        quality = Quality.from_label(parse_stsd(stsd)["quality"])
+        tile = tuple(struct.unpack(">BB", tloc.payload))
+        for time_ms, file_version, size in parse_stss(stss):
+            gop = int(round(time_ms / gop_duration_ms))
+            meta.entries[(gop, tile, quality)] = SegmentEntry(size, file_version)
+    return meta
+
+
+def _chunk(frames: Iterable[Frame], size: int) -> Iterator[list[Frame]]:
+    batch: list[Frame] = []
+    for frame in frames:
+        batch.append(frame)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class StorageManager:
+    """Segment store + metadata index over a :class:`Catalog` directory.
+
+    ``cache_bytes`` sizes the in-memory segment buffer pool
+    (:class:`repro.core.cache.LruSegmentCache`); pass 0 to disable caching
+    (every read hits the filesystem — the configuration the cache
+    benchmark compares against).
+    """
+
+    def __init__(self, root: Path | str, cache_bytes: int = 8 * 1024 * 1024) -> None:
+        from repro.core.cache import LruSegmentCache
+
+        self.catalog = Catalog(root)
+        self._meta_cache: dict[tuple[str, int], VideoMeta] = {}
+        self.segment_cache = (
+            LruSegmentCache(cache_bytes) if cache_bytes > 0 else None
+        )
+
+    # -- catalog passthroughs -------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return self.catalog.exists(name)
+
+    def list_videos(self) -> list[str]:
+        return self.catalog.list_videos()
+
+    def drop(self, name: str) -> None:
+        self.catalog.drop(name)
+        self._meta_cache = {
+            key: value for key, value in self._meta_cache.items() if key[0] != name
+        }
+        if self.segment_cache is not None:
+            self.segment_cache.invalidate_prefix(name)
+
+    # -- ingest ----------------------------------------------------------------
+
+    def ingest(
+        self,
+        name: str,
+        frames: Iterable[Frame],
+        config: IngestConfig,
+        streaming: bool = False,
+        quality_plan: dict[tuple[int, int], tuple[Quality, ...]] | None = None,
+    ) -> VideoMeta:
+        """Segment, encode, and commit version 1 of a new video.
+
+        ``quality_plan`` optionally restricts which rungs are materialised
+        per tile (popularity-driven partial storage); unplanned tiles get
+        the config's full ladder. Every planned ladder must be a subset of
+        the config's qualities.
+        """
+        if self.catalog.exists(name):
+            raise CatalogError(f"video {name!r} already exists; use append or store")
+        if quality_plan is not None:
+            for tile, ladder in quality_plan.items():
+                if not ladder:
+                    raise IngestError(f"quality plan leaves tile {tile} with no rungs")
+                if not set(ladder) <= set(config.qualities):
+                    raise IngestError(
+                        f"quality plan for tile {tile} includes rungs outside the "
+                        "ingest ladder"
+                    )
+        gops = _chunk(frames, config.gop_frames)
+        first = next(gops, None)
+        if first is None:
+            raise IngestError(f"cannot ingest {name!r}: the frame source is empty")
+        self.catalog.create(name)
+        try:
+            return self._write_version(
+                name,
+                version=1,
+                config=config,
+                gop_batches=self._prepend(first, gops),
+                base_meta=None,
+                streaming=streaming,
+                quality_plan=quality_plan,
+            )
+        except Exception:
+            self.catalog.drop(name)
+            raise
+
+    @staticmethod
+    def _prepend(first: list[Frame], rest: Iterator[list[Frame]]) -> Iterator[list[Frame]]:
+        yield first
+        yield from rest
+
+    def _write_version(
+        self,
+        name: str,
+        version: int,
+        config: IngestConfig,
+        gop_batches: Iterable[list[Frame]],
+        base_meta: VideoMeta | None,
+        streaming: bool,
+        quality_plan: dict[tuple[int, int], tuple[Quality, ...]] | None = None,
+    ) -> VideoMeta:
+        codec: TiledVideoCodec | None = None
+        if base_meta is None:
+            meta = None
+            next_gop = 0
+        else:
+            meta = base_meta
+            next_gop = meta.gop_count
+        new_entries: dict[tuple[int, tuple[int, int], Quality], SegmentEntry] = {}
+        frame_counts: list[int] = []
+        width = height = 0
+        for gop_index, batch in enumerate(gop_batches, start=next_gop):
+            if codec is None:
+                width, height = batch[0].width, batch[0].height
+                if base_meta is not None and (width, height) != (
+                    base_meta.width,
+                    base_meta.height,
+                ):
+                    raise IngestError(
+                        f"appended frames are {width}x{height}, video is "
+                        f"{base_meta.width}x{base_meta.height}"
+                    )
+                codec = TiledVideoCodec(config.grid, width, height)
+            for quality in config.qualities:
+                if quality_plan is None:
+                    tiles = None  # the full grid
+                else:
+                    tiles = {
+                        tile
+                        for tile in config.grid.tiles()
+                        if quality in quality_plan.get(tile, config.qualities)
+                    }
+                    if not tiles:
+                        continue
+                tiled = codec.encode_gop(batch, quality, tiles=tiles)
+                for tile, payload in tiled.payloads.items():
+                    path = self.catalog.segment_path(name, gop_index, tile, quality, version)
+                    path.write_bytes(payload)
+                    new_entries[(gop_index, tile, quality)] = SegmentEntry(
+                        len(payload), version
+                    )
+            frame_counts.append(len(batch))
+        if codec is None:
+            raise IngestError(f"no frames to write for {name!r}")
+
+        if base_meta is None:
+            result = VideoMeta(
+                name=name,
+                version=version,
+                width=width,
+                height=height,
+                fps=config.fps,
+                grid=config.grid,
+                gop_frames=config.gop_frames,
+                qualities=config.qualities,
+                projection=config.projection,
+                streaming=streaming,
+                gop_frame_counts=frame_counts,
+                entries=new_entries,
+            )
+        else:
+            result = VideoMeta(
+                name=name,
+                version=version,
+                width=base_meta.width,
+                height=base_meta.height,
+                fps=base_meta.fps,
+                grid=base_meta.grid,
+                gop_frames=base_meta.gop_frames,
+                qualities=base_meta.qualities,
+                projection=base_meta.projection,
+                streaming=streaming,
+                gop_frame_counts=base_meta.gop_frame_counts + frame_counts,
+                entries={**base_meta.entries, **new_entries},
+            )
+        self._commit_meta(result)
+        return result
+
+    def append(self, name: str, frames: Iterable[Frame]) -> VideoMeta:
+        """Extend a (live) video with more frames, as a new version.
+
+        New GOPs are encoded with the video's original segmentation
+        parameters; prior segments are shared, not rewritten.
+        """
+        base = self.meta(name)
+        if base.gop_frame_counts[-1] != base.gop_frames:
+            raise IngestError(
+                f"cannot append to {name!r}: its last GOP is partial "
+                f"({base.gop_frame_counts[-1]} of {base.gop_frames} frames), and "
+                "appended GOPs would break the temporal index alignment"
+            )
+        config = IngestConfig(
+            grid=base.grid,
+            qualities=base.qualities,
+            gop_frames=base.gop_frames,
+            fps=base.fps,
+            projection=base.projection,
+        )
+        # Preserve a partial (popularity-planned) store's per-tile ladders:
+        # new GOPs materialise exactly the rungs the existing ones have.
+        observed: dict[tuple[int, int], set[Quality]] = {}
+        for (gop, tile, quality) in base.entries:
+            if gop == 0:
+                observed.setdefault(tile, set()).add(quality)
+        quality_plan = {
+            tile: tuple(sorted(ladder, reverse=True)) for tile, ladder in observed.items()
+        }
+        return self._write_version(
+            name,
+            version=base.version + 1,
+            config=config,
+            gop_batches=_chunk(frames, base.gop_frames),
+            base_meta=base,
+            streaming=True,
+            quality_plan=quality_plan,
+        )
+
+    def store_windows(
+        self,
+        name: str,
+        windows: list[TiledGop],
+        fps: float,
+        qualities: tuple[Quality, ...] | None = None,
+    ) -> VideoMeta:
+        """Persist already-encoded windows (the query layer's STORE).
+
+        Creates version 1 for a new name, or the next version of an
+        existing one. Each window's tiles may be at heterogeneous
+        qualities; the index records each tile's actual quality.
+        """
+        if not windows:
+            raise IngestError(f"cannot store zero windows as {name!r}")
+        layout = windows[0]
+        for index, window in enumerate(windows[1:], start=1):
+            if (window.width, window.height, window.grid) != (
+                layout.width,
+                layout.height,
+                layout.grid,
+            ):
+                raise IngestError(f"window {index} has a different layout than window 0")
+        if self.catalog.exists(name):
+            version = self.catalog.latest_version(name) + 1
+        else:
+            self.catalog.create(name)
+            version = 1
+        entries: dict[tuple[int, tuple[int, int], Quality], SegmentEntry] = {}
+        observed: set[Quality] = set()
+        for gop_index, window in enumerate(windows):
+            for tile, payload in window.payloads.items():
+                quality = window.tile_quality(*tile)
+                observed.add(quality)
+                path = self.catalog.segment_path(name, gop_index, tile, quality, version)
+                path.write_bytes(payload)
+                entries[(gop_index, tile, quality)] = SegmentEntry(len(payload), version)
+        meta = VideoMeta(
+            name=name,
+            version=version,
+            width=layout.width,
+            height=layout.height,
+            fps=fps,
+            grid=layout.grid,
+            gop_frames=layout.frame_count,
+            qualities=qualities or tuple(sorted(observed, reverse=True)),
+            projection="equirectangular",
+            streaming=False,
+            gop_frame_counts=[window.frame_count for window in windows],
+            entries=entries,
+        )
+        self._commit_meta(meta)
+        return meta
+
+    def _commit_meta(self, meta: VideoMeta) -> None:
+        path = self.catalog.metadata_path(meta.name, meta.version)
+        if path.exists():
+            raise CatalogError(
+                f"refusing to overwrite committed metadata {path.name} of {meta.name!r}"
+            )
+        path.write_bytes(_build_metadata_file(meta).serialize())
+        self._meta_cache[(meta.name, meta.version)] = meta
+
+    # -- reads -------------------------------------------------------------------
+
+    def meta(self, name: str, version: int | None = None) -> VideoMeta:
+        """Metadata for a version (latest if unspecified), cached."""
+        if version is None:
+            version = self.catalog.latest_version(name)
+        key = (name, version)
+        if key not in self._meta_cache:
+            path = self.catalog.metadata_path(name, version)
+            if not path.exists():
+                raise CatalogError(f"video {name!r} has no version {version}")
+            self._meta_cache[key] = _parse_metadata_file(name, path.read_bytes())
+        return self._meta_cache[key]
+
+    def read_segment(
+        self,
+        name: str,
+        gop: int,
+        tile: tuple[int, int],
+        quality: Quality,
+        version: int | None = None,
+    ) -> bytes:
+        """One segment's encoded bytes, located via the metadata index.
+
+        Served from the in-memory buffer pool on a hit; segment files are
+        immutable once written (no-overwrite storage), so cached bytes can
+        never go stale.
+        """
+        meta = self.meta(name, version)
+        entry = meta.entries.get((gop, tile, quality))
+        if entry is None:
+            raise SegmentNotFoundError(
+                f"{name!r} v{meta.version} has no segment (gop={gop}, tile={tile}, "
+                f"quality={quality.label})"
+            )
+        cache_key = (name, gop, tile, quality, entry.file_version)
+        if self.segment_cache is not None:
+            cached = self.segment_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        path = self.catalog.segment_path(name, gop, tile, quality, entry.file_version)
+        data = path.read_bytes()
+        if len(data) != entry.size:
+            raise SegmentNotFoundError(
+                f"segment {path.name} is {len(data)} bytes, index says {entry.size}"
+            )
+        if self.segment_cache is not None:
+            self.segment_cache.put(cache_key, data)
+        return data
+
+    def read_window(
+        self,
+        name: str,
+        gop: int,
+        quality_map: dict[tuple[int, int], Quality],
+        version: int | None = None,
+    ) -> TiledGop:
+        """Assemble a delivery window at a per-tile quality assignment.
+
+        This is byte assembly only — the homomorphic TILEUNION: each tile's
+        stored bytes are placed into the window container untouched.
+        """
+        meta = self.meta(name, version)
+        payloads = {
+            tile: self.read_segment(name, gop, tile, quality, version)
+            for tile, quality in quality_map.items()
+        }
+        return TiledGop(
+            width=meta.width,
+            height=meta.height,
+            grid=meta.grid,
+            frame_count=meta.gop_frame_counts[gop],
+            payloads=payloads,
+        )
+
+    def decode_window(
+        self, name: str, gop: int, quality: Quality, version: int | None = None
+    ) -> list[Frame]:
+        """Decode a full window at a uniform quality (reference reads)."""
+        meta = self.meta(name, version)
+        quality_map = {tile: quality for tile in meta.grid.tiles()}
+        return self.read_window(name, gop, quality_map, version).decode()
+
+    def build_manifest(self, name: str, version: int | None = None) -> Manifest:
+        """The DASH-style manifest a streaming session consumes.
+
+        Every (window, tile) must have at least one stored quality; gaps
+        in the ladder (popularity-planned partial stores) are legal and
+        resolve at request time via :meth:`Manifest.resolve`.
+        """
+        meta = self.meta(name, version)
+        sizes: dict[SegmentKey, int] = {}
+        for gop in range(meta.gop_count):
+            for tile in meta.grid.tiles():
+                stored_any = False
+                for quality in meta.qualities:
+                    entry = meta.entries.get((gop, tile, quality))
+                    if entry is None:
+                        continue
+                    sizes[SegmentKey(gop, tile, quality)] = entry.size
+                    stored_any = True
+                if not stored_any:
+                    raise SegmentNotFoundError(
+                        f"{name!r} is not servable: (gop={gop}, tile={tile}) has "
+                        "no stored quality"
+                    )
+        return Manifest(
+            video=name,
+            width=meta.width,
+            height=meta.height,
+            fps=meta.fps,
+            window_duration=meta.gop_duration,
+            window_count=meta.gop_count,
+            grid=meta.grid,
+            qualities=meta.qualities,
+            segment_sizes=sizes,
+        )
+
+    def total_bytes(self, name: str, version: int | None = None) -> int:
+        """Total stored segment bytes for one version (storage-cost sweeps)."""
+        meta = self.meta(name, version)
+        return sum(entry.size for entry in meta.entries.values())
+
+    # -- retention / garbage collection ---------------------------------------
+
+    def vacuum(self, name: str, keep_versions: int = 1) -> tuple[int, int]:
+        """Drop old versions and delete segment files nothing references.
+
+        A no-overwrite store accretes: every STORE/append commits a new
+        metadata file, and copy-on-write means old segment files stay on
+        disk as long as *any* retained version points at them. ``vacuum``
+        retains the newest ``keep_versions`` metadata files, then removes
+        every segment file not referenced by a retained version.
+
+        Returns ``(files_deleted, bytes_freed)``. Readers of retained
+        versions are unaffected; readers pinned to dropped versions lose
+        snapshot isolation — retention is the operator's contract.
+        """
+        if keep_versions < 1:
+            raise ValueError(f"must keep at least one version, got {keep_versions}")
+        versions = self.catalog.versions(name)
+        retained = versions[-keep_versions:]
+        dropped = versions[: -keep_versions] if len(versions) > keep_versions else []
+
+        referenced: set[str] = set()
+        for version in retained:
+            meta = self.meta(name, version)
+            for (gop, tile, quality), entry in meta.entries.items():
+                referenced.add(
+                    self.catalog.segment_path(
+                        name, gop, tile, quality, entry.file_version
+                    ).name
+                )
+        files_deleted = 0
+        bytes_freed = 0
+        for path in self.catalog.segments_dir(name).iterdir():
+            if path.is_file() and path.name not in referenced:
+                bytes_freed += path.stat().st_size
+                path.unlink()
+                files_deleted += 1
+        for version in dropped:
+            self.catalog.metadata_path(name, version).unlink()
+            self._meta_cache.pop((name, version), None)
+        if self.segment_cache is not None:
+            self.segment_cache.invalidate_prefix(name)
+        return files_deleted, bytes_freed
+
+    def stats(self) -> dict:
+        """Operational snapshot: catalog contents and cache behaviour."""
+        videos = {}
+        for name in self.list_videos():
+            try:
+                meta = self.meta(name)
+            except CatalogError:
+                continue  # created but never committed
+            videos[name] = {
+                "version": meta.version,
+                "versions": len(self.catalog.versions(name)),
+                "duration_s": round(meta.duration, 3),
+                "bytes": self.total_bytes(name),
+                "segments": len(meta.entries),
+            }
+        cache = self.segment_cache
+        return {
+            "videos": videos,
+            "cache": None
+            if cache is None
+            else {
+                "entries": len(cache),
+                "bytes": cache.size_bytes,
+                "capacity": cache.capacity_bytes,
+                "hit_rate": cache.stats.hit_rate,
+                "evictions": cache.stats.evictions,
+            },
+        }

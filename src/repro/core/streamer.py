@@ -1,0 +1,247 @@
+"""The delivery engine: per-session adaptive tile streaming.
+
+For every delivery window of a session the streamer (1) asks the
+predictor which tiles the viewer will see when the window plays, (2) asks
+the quality policy for a per-tile quality assignment under the link
+budget, (3) assembles the window homomorphically from stored segments,
+and (4) accounts for the transfer on the simulated link and the client's
+playback schedule. The output is a :class:`repro.stream.qoe.QoEReport`.
+
+Timing model
+------------
+Media time and wall time are linked through the playback schedule: the
+client requests window ``w`` up to ``buffer_windows`` window-durations
+before it is due to play, the server's prediction decision happens at
+request time, and the prediction horizon is therefore an *emergent*
+quantity — deeper client buffers mean earlier decisions and harder
+predictions. That coupling is the trade-off the granularity ablation
+(E7) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor import PredictionService
+from repro.core.storage import StorageManager
+from repro.geometry.viewport import Orientation, Viewport
+from repro.predict.predictors import Predictor
+from repro.predict.traces import Trace
+from repro.stream.abr import QualityPolicy, estimate_budget
+from repro.stream.client import PlaybackSimulator, ViewportQualityProbe
+from repro.stream.estimator import ThroughputEstimator
+from repro.stream.dash import Manifest
+from repro.stream.network import BandwidthModel, SimulatedLink
+from repro.stream.qoe import QoEReport, WindowRecord
+
+
+@dataclass
+class SessionConfig:
+    """Everything that parameterises one streaming session."""
+
+    policy: QualityPolicy
+    bandwidth: BandwidthModel
+    predictor: str = "deadreckoning"
+    viewport: Viewport = field(default_factory=Viewport)
+    margin: int = 1  # extra tile rings around the predicted viewport
+    buffer_windows: float = 1.0  # request lead, in window durations
+    safety: float = 0.9  # budget derating factor
+    rtt: float = 0.0  # per-request round-trip latency, seconds
+    window_samples: int = 3  # orientation samples per window for tile sets
+    evaluate_quality: bool = False  # run the (expensive) viewport PSNR probe
+    probe: ViewportQualityProbe | None = None
+    #: Client-side throughput estimator. None = oracle (read the link
+    #: model's true rate) — the default the estimation ablation compares
+    #: realistic estimators against.
+    estimator: "ThroughputEstimator | None" = None
+
+
+class Streamer:
+    """Serves stored videos to simulated viewers."""
+
+    def __init__(self, storage: StorageManager, prediction: PredictionService) -> None:
+        self.storage = storage
+        self.prediction = prediction
+
+    def serve(self, name: str, trace: Trace, config: SessionConfig) -> QoEReport:
+        """Run one complete session and return its QoE report."""
+        manifest = self.storage.build_manifest(name)
+        predictor = self.prediction.session_predictor(
+            config.predictor, video=name, grid=manifest.grid, trace=trace
+        )
+        predictor.reset()
+        if config.estimator is not None:
+            config.estimator.reset()
+        link = SimulatedLink(config.bandwidth, rtt=config.rtt)
+        playback = PlaybackSimulator(manifest.window_duration)
+        duration = manifest.window_duration
+        buffer_wall = config.buffer_windows * duration
+
+        starts: list[float] = []
+        records: list[WindowRecord] = []
+        trace_cursor = 0
+
+        for window in range(manifest.window_count):
+            window_start, window_end = manifest.window_interval(window)
+            if window == 0:
+                request_time = 0.0
+            else:
+                due = starts[-1] + duration
+                request_time = max(link.busy_until, due - buffer_wall)
+
+            # Feed the predictor every client orientation report up to the
+            # media instant playing at request time.
+            media_now = self._media_time(starts, duration, request_time)
+            trace_cursor = self._observe(predictor, trace, trace_cursor, media_now)
+
+            predicted = self._predicted_tiles(
+                predictor, manifest, config, window_start, window_end
+            )
+            if config.estimator is not None:
+                estimated = config.estimator.estimate()
+                # Before any transfer completes there is no signal; start
+                # from the link's current rate, as a probing client would.
+                bandwidth_estimate = (
+                    estimated
+                    if estimated is not None
+                    else config.bandwidth.rate_at(request_time)
+                )
+            else:
+                bandwidth_estimate = config.bandwidth.rate_at(request_time)
+            budget = estimate_budget(bandwidth_estimate, duration, config.safety)
+            quality_map = config.policy.assign(manifest, window, predicted, budget)
+            missing = set(manifest.grid.tiles()) - set(quality_map)
+            if missing:
+                raise ValueError(
+                    f"policy {config.policy.name!r} left tiles {sorted(missing)} unassigned"
+                )
+            # Partial (popularity-planned) stores may lack the assigned
+            # rung for some tiles; ship the stored rung actually used.
+            quality_map = {
+                tile: manifest.resolve(window, tile, quality)
+                for tile, quality in quality_map.items()
+            }
+            size = manifest.window_size(window, quality_map)
+            transfer_start = max(request_time, link.busy_until)
+            delivered = link.transfer(size, request_time)
+            if config.estimator is not None:
+                config.estimator.observe(size, delivered - transfer_start)
+
+            if window == 0:
+                playback_start, stall = delivered, 0.0
+            else:
+                nominal = starts[-1] + duration
+                playback_start = max(nominal, delivered)
+                stall = playback_start - nominal
+            starts.append(playback_start)
+
+            visible = self._actual_visible(trace, manifest, config, window_start, window_end)
+            record = WindowRecord(
+                window=window,
+                decision_time=request_time,
+                request_time=request_time,
+                delivered_time=delivered,
+                playback_start=playback_start,
+                stall_seconds=stall,
+                bytes_sent=size,
+                quality_map=quality_map,
+                predicted_tiles=predicted,
+                ladder_best=manifest.best_quality,
+                visible_tiles=visible,
+            )
+            if config.evaluate_quality:
+                record.viewport_psnr = self._probe_window(
+                    name, manifest, config, window, quality_map, trace, window_start
+                )
+            records.append(record)
+
+        # Cross-check the incremental schedule against the playback model.
+        recomputed_starts, _ = playback.schedule([r.delivered_time for r in records])
+        for mine, model in zip(starts, recomputed_starts):
+            if abs(mine - model) > 1e-6:
+                raise AssertionError("playback schedule diverged from the client model")
+        return QoEReport(records)
+
+    @staticmethod
+    def _media_time(starts: list[float], duration: float, wall: float) -> float:
+        """The media instant playing at wall time ``wall`` (0 pre-start)."""
+        media = 0.0
+        for index, start in enumerate(starts):
+            if wall < start:
+                break
+            media = index * duration + min(duration, wall - start)
+        return media
+
+    @staticmethod
+    def _observe(predictor: Predictor, trace: Trace, cursor: int, up_to: float) -> int:
+        """Feed the predictor all unseen trace samples at or before ``up_to``.
+
+        Always guarantees at least one observation (the trace head) so the
+        very first window has something to extrapolate from.
+        """
+        fed = cursor > 0
+        while cursor < len(trace) and (trace.times[cursor] <= up_to or not fed):
+            predictor.observe(
+                float(trace.times[cursor]),
+                Orientation(float(trace.thetas[cursor]), float(trace.phis[cursor])),
+            )
+            fed = True
+            cursor += 1
+        return cursor
+
+    def _predicted_tiles(
+        self,
+        predictor: Predictor,
+        manifest: Manifest,
+        config: SessionConfig,
+        window_start: float,
+        window_end: float,
+    ) -> set[tuple[int, int]]:
+        """Union of predicted-visible tiles across the window's span."""
+        tiles: set[tuple[int, int]] = set()
+        for time in np.linspace(window_start, window_end, config.window_samples + 2)[1:-1]:
+            tiles |= predictor.predict_tiles(
+                float(time), manifest.grid, config.viewport, config.margin
+            )
+        return tiles
+
+    def _actual_visible(
+        self,
+        trace: Trace,
+        manifest: Manifest,
+        config: SessionConfig,
+        window_start: float,
+        window_end: float,
+    ) -> set[tuple[int, int]]:
+        """Ground truth: tiles the viewer actually saw during the window."""
+        visible: set[tuple[int, int]] = set()
+        for time in np.linspace(window_start, window_end, config.window_samples + 2)[1:-1]:
+            orientation = trace.orientation_at(float(time))
+            visible |= config.viewport.visible_tiles(orientation, manifest.grid)
+        return visible
+
+    def _probe_window(
+        self,
+        name: str,
+        manifest: Manifest,
+        config: SessionConfig,
+        window: int,
+        quality_map,
+        trace: Trace,
+        window_start: float,
+    ) -> float:
+        """Viewport PSNR of the delivered window against the best-quality
+        render — i.e. degradation relative to what naive delivery shows.
+
+        On partial stores the reference is the best *stored* rung per tile
+        (exactly what naive delivery would resolve to)."""
+        probe = config.probe or ViewportQualityProbe(config.viewport)
+        delivered = self.storage.read_window(name, window, quality_map)
+        reference_map = {
+            tile: manifest.resolve(window, tile, manifest.best_quality)
+            for tile in manifest.grid.tiles()
+        }
+        reference = self.storage.read_window(name, window, reference_map).decode()
+        return probe.window_psnr(delivered, reference, trace, window_start, manifest.fps)

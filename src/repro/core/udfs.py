@@ -1,0 +1,79 @@
+"""Built-in frame transformation functions for MAP queries.
+
+Each UDF takes a :class:`repro.video.frame.Frame` and returns a new one of
+the same dimensions. They are deliberately simple — the query layer's job
+is plumbing, not vision — but each is a real pixel transformation, so MAP
+queries measurably cost decode + compute + re-encode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frame import Frame
+
+
+def grayscale(frame: Frame) -> Frame:
+    """Drop the chroma signal, keeping luma untouched."""
+    return Frame.from_luma(frame.y)
+
+
+def invert(frame: Frame) -> Frame:
+    """Photographic negative of all three planes."""
+    return Frame(
+        y=(255 - frame.y).astype(np.uint8),
+        u=(255 - frame.u).astype(np.uint8),
+        v=(255 - frame.v).astype(np.uint8),
+    )
+
+
+def brighten(amount: int = 32):
+    """A UDF factory: shift luma by ``amount`` (clamped)."""
+
+    def apply(frame: Frame) -> Frame:
+        y = np.clip(frame.y.astype(np.int16) + amount, 0, 255).astype(np.uint8)
+        return Frame(y=y, u=frame.u, v=frame.v)
+
+    apply.__name__ = f"brighten_{amount}"
+    return apply
+
+
+def _convolve3(plane: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """3x3 convolution with edge replication, in float."""
+    padded = np.pad(plane.astype(np.float64), 1, mode="edge")
+    result = np.zeros_like(plane, dtype=np.float64)
+    for dy in range(3):
+        for dx in range(3):
+            result += kernel[dy, dx] * padded[dy : dy + plane.shape[0], dx : dx + plane.shape[1]]
+    return result
+
+
+_BLUR_KERNEL = np.ones((3, 3)) / 9.0
+_SHARPEN_KERNEL = np.array([[0, -1, 0], [-1, 5, -1], [0, -1, 0]], dtype=np.float64)
+
+
+def blur(frame: Frame) -> Frame:
+    """3x3 box blur of the luma plane (a truncated blur stencil)."""
+    y = np.clip(np.round(_convolve3(frame.y, _BLUR_KERNEL)), 0, 255).astype(np.uint8)
+    return Frame(y=y, u=frame.u, v=frame.v)
+
+
+def sharpen(frame: Frame) -> Frame:
+    """3x3 unsharp kernel on the luma plane."""
+    y = np.clip(np.round(_convolve3(frame.y, _SHARPEN_KERNEL)), 0, 255).astype(np.uint8)
+    return Frame(y=y, u=frame.u, v=frame.v)
+
+
+def watermark(mark_luma: np.ndarray, x0: int = 0, y0: int = 0):
+    """A UDF factory: stamp a small luma patch at ``(x0, y0)``.
+
+    The patch dimensions and offsets must be even (4:2:0 alignment).
+    """
+    mark = np.asarray(mark_luma, dtype=np.uint8)
+
+    def apply(frame: Frame) -> Frame:
+        stamped = frame.paste(Frame.from_luma(mark), x0, y0)
+        return stamped
+
+    apply.__name__ = "watermark"
+    return apply

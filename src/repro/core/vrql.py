@@ -1,0 +1,379 @@
+"""VRQL: the textual declarative query language.
+
+The demo's successor exposes a query language whose queries look like
+``Scan("v") >> Select(...) >> Map(...) >> Store("out")``. This module
+gives the reproduction the same textual surface over the query algebra in
+:mod:`repro.core.query`:
+
+.. code-block:: text
+
+    SCAN(venice) >> SELECT(time=0:2, theta=0:pi) >> MAP(grayscale) >> STORE(out)
+    UNION(SCAN(base, quality=lowest), SCAN(front) >> SELECT(theta=0:pi/2))
+
+Grammar (hand-rolled recursive descent):
+
+.. code-block:: text
+
+    query  := call ('>>' call)*        -- '>>' pipes the left expr into the
+    call   := NAME '(' args? ')'          right call as its source
+    args   := arg (',' arg)*
+    arg    := query | NAME '=' value | value
+    value  := range | scalar | NAME
+    range  := scalar ':' scalar
+    scalar := NUMBER | 'pi' | NUMBER '*' 'pi' | 'pi' '/' NUMBER
+              | NUMBER '*' 'pi' '/' NUMBER
+
+Angles accept ``pi`` arithmetic because tile boundaries live at rational
+multiples of pi; a query language that made users type 3.14159... would
+never hit the homomorphic fast path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import udfs
+from repro.core.errors import QueryError
+from repro.core.query import (
+    Discretize,
+    Encode,
+    Expr,
+    Map,
+    Partition,
+    Scan,
+    Select,
+    Store,
+    Union,
+)
+from repro.video.frame import Frame
+from repro.video.quality import Quality
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<pipe>>>)|(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)"
+    r"|(?P<colon>:)|(?P<equals>=)|(?P<star>\*)|(?P<slash>/)"
+    r"|(?P<number>-?\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z0-9_.-]*))"
+)
+
+#: UDFs resolvable by name in MAP(...). Extend with :func:`register_udf`.
+_UDF_REGISTRY: dict[str, Callable[[Frame], Frame]] = {
+    "grayscale": udfs.grayscale,
+    "invert": udfs.invert,
+    "blur": udfs.blur,
+    "sharpen": udfs.sharpen,
+}
+
+
+def register_udf(name: str, fn: Callable[[Frame], Frame]) -> None:
+    """Make a frame transformation callable from ``MAP(name)`` queries."""
+    if not name.isidentifier():
+        raise ValueError(f"UDF name must be an identifier, got {name!r}")
+    _UDF_REGISTRY[name] = fn
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].lstrip()
+            if not remainder:
+                break
+            raise QueryError(f"VRQL: cannot tokenise {remainder[:20]!r} at offset {position}")
+        for kind, value in match.groupdict().items():
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start()))
+                break
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"VRQL: unexpected end of query in {self.text!r}")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QueryError(
+                f"VRQL: expected {kind} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._parse_pipeline()
+        trailing = self._peek()
+        if trailing is not None:
+            raise QueryError(
+                f"VRQL: trailing input {trailing.text!r} at offset {trailing.position}"
+            )
+        return expr
+
+    def _parse_pipeline(self) -> Expr:
+        expr = self._parse_call(source=None)
+        while self._accept("pipe"):
+            expr = self._parse_call(source=expr)
+        return expr
+
+    def _parse_call(self, source: Expr | None) -> Expr:
+        name_token = self._expect("name")
+        operator = name_token.text.upper()
+        self._expect("lparen")
+        positional, keyword = self._parse_args()
+        self._expect("rparen")
+        return self._build(operator, source, positional, keyword, name_token.position)
+
+    def _parse_args(self) -> tuple[list, dict]:
+        positional: list = []
+        keyword: dict = {}
+        if self._peek() is not None and self._peek().kind == "rparen":
+            return positional, keyword
+        while True:
+            argument = self._parse_arg()
+            if isinstance(argument, tuple) and argument and argument[0] == "__kw__":
+                keyword[argument[1]] = argument[2]
+            else:
+                positional.append(argument)
+            if not self._accept("comma"):
+                return positional, keyword
+
+    def _parse_arg(self):
+        token = self._peek()
+        if token is None:
+            raise QueryError("VRQL: unexpected end of argument list")
+        if token.kind == "name":
+            following = (
+                self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+            )
+            if following is not None and following.kind == "lparen":
+                return self._parse_pipeline()  # nested expression
+            if following is not None and following.kind == "equals":
+                name = self._next().text
+                self._expect("equals")
+                return ("__kw__", name, self._parse_value())
+        return self._parse_value()
+
+    def _parse_value(self):
+        first = self._parse_scalar_or_name()
+        if self._accept("colon"):
+            second = self._parse_scalar_or_name()
+            if not isinstance(first, float) or not isinstance(second, float):
+                raise QueryError("VRQL: range endpoints must be numeric")
+            return (first, second)
+        return first
+
+    def _parse_scalar_or_name(self):
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text)
+            return self._maybe_pi_arithmetic(value)
+        if token.kind == "name":
+            if token.text.lower() == "pi":
+                return self._maybe_division(math.pi)
+            return token.text
+        raise QueryError(
+            f"VRQL: expected a value but found {token.text!r} at offset {token.position}"
+        )
+
+    def _maybe_pi_arithmetic(self, value: float):
+        if self._accept("star"):
+            token = self._expect("name")
+            if token.text.lower() != "pi":
+                raise QueryError(f"VRQL: only 'pi' may follow '*', got {token.text!r}")
+            return self._maybe_division(value * math.pi)
+        return value
+
+    def _maybe_division(self, value: float) -> float:
+        if self._accept("slash"):
+            divisor = float(self._expect("number").text)
+            if divisor == 0:
+                raise QueryError("VRQL: division by zero")
+            return value / divisor
+        return value
+
+    # -- operator construction --------------------------------------------------------
+
+    def _build(self, operator, source, positional, keyword, position) -> Expr:
+        if operator == "SCAN":
+            if source is not None:
+                raise QueryError("VRQL: SCAN cannot be piped into")
+            if len(positional) != 1 or not isinstance(positional[0], str):
+                raise QueryError("VRQL: SCAN takes exactly one video name")
+            quality = keyword.pop("quality", None)
+            version = keyword.pop("version", None)
+            self._reject_extra("SCAN", keyword)
+            try:
+                return Scan(
+                    positional[0],
+                    quality=Quality.from_label(quality) if quality else None,
+                    version=int(version) if version is not None else None,
+                )
+            except ValueError as error:
+                raise QueryError(f"VRQL: {error}") from error
+        if operator == "UNION":
+            operands = [arg for arg in positional if isinstance(arg, Expr)]
+            if source is not None:
+                operands.insert(0, source)
+            if len(operands) < 2:
+                raise QueryError("VRQL: UNION needs at least two expressions")
+            self._reject_extra("UNION", keyword)
+            result = operands[0]
+            for operand in operands[1:]:
+                result = Union(result, operand)
+            return result
+
+        if source is None:
+            raise QueryError(
+                f"VRQL: {operator} needs an input — start the pipeline with SCAN(...)"
+            )
+        if operator == "SELECT":
+            if positional:
+                raise QueryError("VRQL: SELECT takes only dimension=lo:hi arguments")
+            ranges = {}
+            for dimension in ("time", "theta", "phi"):
+                bounds = keyword.pop(dimension, None)
+                if bounds is not None:
+                    if not isinstance(bounds, tuple):
+                        raise QueryError(f"VRQL: SELECT {dimension} needs a lo:hi range")
+                    ranges[dimension] = bounds
+            self._reject_extra("SELECT", keyword)
+            if not ranges:
+                raise QueryError("VRQL: SELECT needs at least one of time/theta/phi")
+            return Select(source, **ranges)
+        if operator == "MAP":
+            if len(positional) != 1 or not isinstance(positional[0], str):
+                raise QueryError("VRQL: MAP takes exactly one UDF name")
+            self._reject_extra("MAP", keyword)
+            udf_name = positional[0]
+            if udf_name not in _UDF_REGISTRY:
+                raise QueryError(
+                    f"VRQL: unknown UDF {udf_name!r}; registered: {sorted(_UDF_REGISTRY)}"
+                )
+            return Map(source, fn=_UDF_REGISTRY[udf_name])
+        if operator == "PARTITION":
+            if len(positional) != 1 or not isinstance(positional[0], float):
+                raise QueryError("VRQL: PARTITION takes one duration in seconds")
+            self._reject_extra("PARTITION", keyword)
+            return Partition(source, seconds=positional[0])
+        if operator == "DISCRETIZE":
+            if len(positional) != 1 or not isinstance(positional[0], float):
+                raise QueryError("VRQL: DISCRETIZE takes one frame rate")
+            self._reject_extra("DISCRETIZE", keyword)
+            return Discretize(source, fps=positional[0])
+        if operator == "ENCODE":
+            if len(positional) != 1 or not isinstance(positional[0], str):
+                raise QueryError("VRQL: ENCODE takes exactly one quality label")
+            self._reject_extra("ENCODE", keyword)
+            return Encode(source, quality=Quality.from_label(positional[0]))
+        if operator == "STORE":
+            if len(positional) != 1 or not isinstance(positional[0], str):
+                raise QueryError("VRQL: STORE takes exactly one video name")
+            self._reject_extra("STORE", keyword)
+            return Store(source, name=positional[0])
+        raise QueryError(f"VRQL: unknown operator {operator!r} at offset {position}")
+
+    @staticmethod
+    def _reject_extra(operator: str, keyword: dict) -> None:
+        if keyword:
+            raise QueryError(
+                f"VRQL: {operator} got unexpected arguments {sorted(keyword)}"
+            )
+
+
+def parse(text: str) -> Expr:
+    """Parse a VRQL query string into a logical expression tree."""
+    if not text or not text.strip():
+        raise QueryError("VRQL: empty query")
+    return _Parser(text).parse()
+
+
+def _format_number(value: float) -> str:
+    """Render a scalar, preferring exact small multiples of pi."""
+    for denominator in (1, 2, 3, 4, 6, 8):
+        multiple = value * denominator / math.pi
+        if abs(multiple - round(multiple)) < 1e-12 and round(multiple) != 0:
+            numerator = int(round(multiple))
+            head = "pi" if numerator == 1 else f"{numerator}*pi"
+            return head if denominator == 1 else f"{head}/{denominator}"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_range(bounds: tuple[float, float]) -> str:
+    return f"{_format_number(bounds[0])}:{_format_number(bounds[1])}"
+
+
+def format_expr(expr: Expr) -> str:
+    """Render a logical expression back to VRQL text.
+
+    Inverse of :func:`parse` up to formatting:
+    ``parse(format_expr(e)) == e`` whenever every MAP UDF in ``e`` is
+    registered (unregistered callables render by ``__name__`` and cannot
+    round-trip).
+    """
+    if isinstance(expr, Scan):
+        arguments = [expr.name]
+        if expr.quality is not None:
+            arguments.append(f"quality={expr.quality.label}")
+        if expr.version is not None:
+            arguments.append(f"version={expr.version}")
+        return f"SCAN({', '.join(arguments)})"
+    if isinstance(expr, Select):
+        parts = []
+        for dimension in ("time", "theta", "phi"):
+            bounds = getattr(expr, dimension)
+            if bounds is not None:
+                parts.append(f"{dimension}={_format_range(bounds)}")
+        return f"{format_expr(expr.source)} >> SELECT({', '.join(parts)})"
+    if isinstance(expr, Map):
+        for name, fn in _UDF_REGISTRY.items():
+            if fn is expr.fn:
+                return f"{format_expr(expr.source)} >> MAP({name})"
+        return f"{format_expr(expr.source)} >> MAP({getattr(expr.fn, '__name__', 'udf')})"
+    if isinstance(expr, Partition):
+        return f"{format_expr(expr.source)} >> PARTITION({_format_number(expr.seconds)})"
+    if isinstance(expr, Discretize):
+        return f"{format_expr(expr.source)} >> DISCRETIZE({_format_number(expr.fps)})"
+    if isinstance(expr, Encode):
+        return f"{format_expr(expr.source)} >> ENCODE({expr.quality.label})"
+    if isinstance(expr, Store):
+        return f"{format_expr(expr.source)} >> STORE({expr.name})"
+    if isinstance(expr, Union):
+        return f"UNION({format_expr(expr.left)}, {format_expr(expr.right)})"
+    raise QueryError(f"VRQL: cannot format expression type {type(expr).__name__}")

@@ -1,0 +1,45 @@
+"""Adaptive delivery substrate: links, manifests, ABR policies, QoE.
+
+VisualCloud's delivery engine is a tile-aware variant of MPEG-DASH
+adaptive streaming: the client (here, a simulator) fetches one delivery
+window at a time, each window being a set of per-tile segments whose
+qualities a policy chose under a bandwidth budget. This package provides
+the network link simulation, the manifest, the quality-assignment
+policies (including the two baselines the evaluation compares against),
+and the QoE accounting.
+"""
+
+from repro.stream.abr import (
+    NaiveFullQuality,
+    PredictiveTilingPolicy,
+    QualityPolicy,
+    UniformAdaptive,
+)
+from repro.stream.client import PlaybackSimulator, ViewportQualityProbe
+from repro.stream.dash import Manifest, SegmentKey
+from repro.stream.network import (
+    BandwidthModel,
+    ConstantBandwidth,
+    SimulatedLink,
+    SteppedBandwidth,
+    TraceBandwidth,
+)
+from repro.stream.qoe import QoEReport, WindowRecord
+
+__all__ = [
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "Manifest",
+    "NaiveFullQuality",
+    "PlaybackSimulator",
+    "PredictiveTilingPolicy",
+    "QoEReport",
+    "QualityPolicy",
+    "SegmentKey",
+    "SimulatedLink",
+    "SteppedBandwidth",
+    "TraceBandwidth",
+    "UniformAdaptive",
+    "ViewportQualityProbe",
+    "WindowRecord",
+]

@@ -1,0 +1,132 @@
+"""DASH-style manifests for tiled adaptive streaming.
+
+A manifest is what the server publishes to a session: the video's layout
+(grid, window duration, quality ladder) plus the exact byte size of every
+(window, tile, quality) segment. Sizes matter — the ABR policy budgets
+real bytes against real link capacity, so the manifest is built from the
+storage manager's index rather than a bitrate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.grid import TileGrid
+from repro.video.quality import Quality
+
+
+@dataclass(frozen=True)
+class SegmentKey:
+    """Identity of one deliverable segment."""
+
+    window: int  # delivery-window (GOP) index
+    tile: tuple[int, int]  # (row, col) in the grid
+    quality: Quality
+
+
+@dataclass
+class Manifest:
+    """The session-facing description of one stored video."""
+
+    video: str
+    width: int
+    height: int
+    fps: float
+    window_duration: float  # seconds per delivery window (= GOP duration)
+    window_count: int
+    grid: TileGrid
+    qualities: tuple[Quality, ...]  # available ladder, best first
+    segment_sizes: dict[SegmentKey, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_duration <= 0:
+            raise ValueError(f"window duration must be positive, got {self.window_duration}")
+        if self.window_count <= 0:
+            raise ValueError(f"window count must be positive, got {self.window_count}")
+        if not self.qualities:
+            raise ValueError("a manifest needs at least one quality")
+        if list(self.qualities) != sorted(self.qualities, reverse=True):
+            raise ValueError("qualities must be ordered best first")
+
+    @property
+    def duration(self) -> float:
+        return self.window_count * self.window_duration
+
+    @property
+    def best_quality(self) -> Quality:
+        return self.qualities[0]
+
+    @property
+    def worst_quality(self) -> Quality:
+        return self.qualities[-1]
+
+    def size_of(self, window: int, tile: tuple[int, int], quality: Quality) -> int:
+        """Byte size of one segment; raises if it was never stored."""
+        key = SegmentKey(window, tile, quality)
+        if key not in self.segment_sizes:
+            raise KeyError(
+                f"no segment for window {window}, tile {tile}, quality {quality.label}"
+            )
+        return self.segment_sizes[key]
+
+    def available(self, window: int, tile: tuple[int, int]) -> tuple[Quality, ...]:
+        """Stored qualities for one (window, tile), best first.
+
+        With full-matrix storage this is the whole ladder; popularity-
+        planned stores (see :mod:`repro.core.popularity`) leave gaps.
+        """
+        if not hasattr(self, "_availability"):
+            index: dict[tuple[int, tuple[int, int]], list[Quality]] = {}
+            for key in self.segment_sizes:
+                index.setdefault((key.window, key.tile), []).append(key.quality)
+            self._availability = {
+                position: tuple(sorted(qualities, reverse=True))
+                for position, qualities in index.items()
+            }
+        stored = self._availability.get((window, tile), ())
+        if not stored:
+            raise KeyError(f"window {window}, tile {tile} has no stored segments")
+        return stored
+
+    def resolve(self, window: int, tile: tuple[int, int], quality: Quality) -> Quality:
+        """The stored quality a request for ``quality`` is served at.
+
+        Exact match when stored; otherwise the best stored rung *below*
+        the request (never silently upgrade a budgeted request); if the
+        request is below everything stored, the worst stored rung.
+        """
+        stored = self.available(window, tile)
+        if quality in stored:
+            return quality
+        at_or_below = [candidate for candidate in stored if candidate < quality]
+        if at_or_below:
+            return at_or_below[0]  # best of the worse ones (list is best-first)
+        return stored[-1]
+
+    def window_size(self, window: int, quality_map: dict[tuple[int, int], Quality]) -> int:
+        """Total bytes to deliver one window under a quality assignment.
+
+        Requests resolve to stored rungs, so partial stores budget with
+        the sizes they will actually ship.
+        """
+        return sum(
+            self.size_of(window, tile, self.resolve(window, tile, quality))
+            for tile, quality in quality_map.items()
+        )
+
+    def full_sphere_size(self, window: int, quality: Quality) -> int:
+        """Bytes for every tile of a window at a single (resolved) quality."""
+        return self.window_size(window, {tile: quality for tile in self.grid.tiles()})
+
+    def window_of_time(self, time: float) -> int:
+        """The delivery window containing playback time ``time``."""
+        if time < 0:
+            raise ValueError(f"negative playback time {time}")
+        return min(int(time / self.window_duration), self.window_count - 1)
+
+    def window_interval(self, window: int) -> tuple[float, float]:
+        """Playback interval ``[start, end)`` of a window."""
+        if not 0 <= window < self.window_count:
+            raise IndexError(f"window {window} outside [0, {self.window_count})")
+        start = window * self.window_duration
+        return (start, start + self.window_duration)

@@ -1,0 +1,104 @@
+"""Client-side throughput estimation.
+
+A real client cannot read the link's true capacity; it estimates from the
+transfers it has completed. The streamer accepts any estimator here in
+place of its default oracle (the link model's actual rate), letting the
+estimation ablation measure how much of the system's performance depends
+on knowing the bandwidth.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+
+class ThroughputEstimator(abc.ABC):
+    """Online bytes-per-second estimator fed by completed transfers."""
+
+    @abc.abstractmethod
+    def observe(self, size_bytes: int, duration_seconds: float) -> None:
+        """Record one completed transfer."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float | None:
+        """Current bytes/second estimate, or None before any observation."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Forget all observations (start of a new session)."""
+
+
+class HarmonicMeanEstimator(ThroughputEstimator):
+    """Harmonic mean of the last ``window`` transfer rates.
+
+    The harmonic mean weights slow transfers heavily, which is the
+    conservative behaviour DASH players use: one stalled segment should
+    drag the estimate down hard.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def observe(self, size_bytes: int, duration_seconds: float) -> None:
+        if size_bytes <= 0 or duration_seconds <= 0:
+            return  # zero-byte windows and instant transfers carry no signal
+        self._samples.append(size_bytes / duration_seconds)
+
+    def estimate(self) -> float | None:
+        if not self._samples:
+            return None
+        return len(self._samples) / sum(1.0 / rate for rate in self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class EwmaEstimator(ThroughputEstimator):
+    """Exponentially weighted moving average of transfer rates.
+
+    ``alpha`` is the weight of the newest sample; smaller values smooth
+    more and react slower.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    def observe(self, size_bytes: int, duration_seconds: float) -> None:
+        if size_bytes <= 0 or duration_seconds <= 0:
+            return
+        rate = size_bytes / duration_seconds
+        if self._value is None:
+            self._value = rate
+        else:
+            self._value = self.alpha * rate + (1.0 - self.alpha) * self._value
+
+    def estimate(self) -> float | None:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+
+class LastSampleEstimator(ThroughputEstimator):
+    """The most recent transfer's rate, unsmoothed — the naive baseline
+    that chases every fluctuation."""
+
+    def __init__(self) -> None:
+        self._value: float | None = None
+
+    def observe(self, size_bytes: int, duration_seconds: float) -> None:
+        if size_bytes <= 0 or duration_seconds <= 0:
+            return
+        self._value = size_bytes / duration_seconds
+
+    def estimate(self) -> float | None:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None

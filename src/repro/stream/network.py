@@ -1,0 +1,181 @@
+"""Simulated network links.
+
+Delivery experiments need a deterministic link whose capacity can be
+constant, stepped (to exercise rate adaptation), or driven by a recorded
+throughput trace. All models are piecewise-constant in time, which makes
+transfer-time computation exact rather than numerically integrated.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BandwidthModel(abc.ABC):
+    """Link capacity as a piecewise-constant function of time (bytes/s)."""
+
+    @abc.abstractmethod
+    def rate_at(self, time: float) -> float:
+        """Capacity in bytes/second at ``time``."""
+
+    @abc.abstractmethod
+    def next_change(self, time: float) -> float:
+        """The next instant after ``time`` at which the rate changes
+        (``math.inf`` if it never does)."""
+
+
+@dataclass(frozen=True)
+class ConstantBandwidth(BandwidthModel):
+    """A fixed-capacity link."""
+
+    rate: float  # bytes per second
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.rate}")
+
+    def rate_at(self, time: float) -> float:
+        return self.rate
+
+    def next_change(self, time: float) -> float:
+        return math.inf
+
+
+@dataclass(frozen=True)
+class SteppedBandwidth(BandwidthModel):
+    """Capacity that switches at fixed instants.
+
+    ``steps`` is a sequence of ``(start_time, rate)`` pairs, sorted by
+    start time; the first entry must start at or before 0.
+    """
+
+    steps: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("at least one step is required")
+        times = [start for start, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("steps must be sorted by start time")
+        if times[0] > 0:
+            raise ValueError("the first step must cover time zero")
+        if any(rate <= 0 for _, rate in self.steps):
+            raise ValueError("all rates must be positive")
+
+    def rate_at(self, time: float) -> float:
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if start <= time:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    def next_change(self, time: float) -> float:
+        for start, _ in self.steps:
+            if start > time:
+                return start
+        return math.inf
+
+
+class TraceBandwidth(BandwidthModel):
+    """Capacity replayed from a sampled throughput trace.
+
+    Holds each sample's rate until the next sample; past the end, the
+    final rate persists. A synthetic trace generator is provided for
+    experiments (:meth:`random_walk`).
+    """
+
+    def __init__(self, times: np.ndarray, rates: np.ndarray) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        rates = np.asarray(rates, dtype=np.float64)
+        if times.shape != rates.shape or times.ndim != 1 or times.size == 0:
+            raise ValueError("times and rates must be equal-length 1-D arrays")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("trace times must be strictly increasing")
+        if times[0] > 0:
+            raise ValueError("the trace must cover time zero")
+        if np.any(rates <= 0):
+            raise ValueError("all rates must be positive")
+        self.times = times
+        self.rates = rates
+
+    @classmethod
+    def random_walk(
+        cls,
+        duration: float,
+        mean_rate: float,
+        volatility: float = 0.2,
+        step: float = 1.0,
+        seed: int = 0,
+    ) -> "TraceBandwidth":
+        """A mean-reverting log-random-walk throughput trace."""
+        rng = np.random.default_rng(seed)
+        count = max(2, int(math.ceil(duration / step)) + 1)
+        log_rates = np.empty(count)
+        log_rates[0] = math.log(mean_rate)
+        target = math.log(mean_rate)
+        for i in range(1, count):
+            pull = 0.3 * (target - log_rates[i - 1])
+            log_rates[i] = log_rates[i - 1] + pull + rng.normal(0.0, volatility)
+        return cls(np.arange(count) * step, np.exp(log_rates))
+
+    def rate_at(self, time: float) -> float:
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        return float(self.rates[max(index, 0)])
+
+    def next_change(self, time: float) -> float:
+        index = int(np.searchsorted(self.times, time, side="right"))
+        if index >= self.times.size:
+            return math.inf
+        return float(self.times[index])
+
+
+class SimulatedLink:
+    """A sequential link: transfers occupy the link one at a time.
+
+    The link tracks its own busy-until time, so back-to-back transfers
+    queue naturally — exactly how a single HTTP connection behaves.
+    ``rtt`` charges a fixed per-request round-trip before the first byte
+    flows; it is the term that makes very short delivery windows expensive
+    (one request per window, amortised over fewer media bytes).
+    """
+
+    def __init__(self, model: BandwidthModel, rtt: float = 0.0) -> None:
+        if rtt < 0:
+            raise ValueError(f"RTT must be non-negative, got {rtt}")
+        self.model = model
+        self.rtt = rtt
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+
+    def transfer(self, size: int, request_time: float) -> float:
+        """Send ``size`` bytes at ``request_time``; returns completion time.
+
+        The transfer starts when both the request has been issued and the
+        link is free, pays one RTT, then drains at the piecewise-constant
+        capacity.
+        """
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size}")
+        start = max(request_time, self.busy_until) + self.rtt
+        time = start
+        remaining = float(size)
+        while remaining > 1e-9:
+            rate = self.model.rate_at(time)
+            boundary = self.model.next_change(time)
+            window = boundary - time
+            can_send = rate * window
+            if can_send >= remaining:
+                time += remaining / rate
+                remaining = 0.0
+            else:
+                remaining -= can_send
+                time = boundary
+        self.busy_until = time
+        self.bytes_sent += size
+        return time

@@ -1,0 +1,147 @@
+"""Bit-level I/O and exponential-Golomb entropy codes.
+
+The codec's entropy layer: a big-endian bit writer/reader pair plus the
+unsigned and signed exp-Golomb codes used by H.264/HEVC for header and
+residual syntax. Exp-Golomb is a universal code — short for the small
+values that dominate quantised transform coefficients — which is what makes
+the quality ladder actually change the byte count.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` low-order bits of ``value``."""
+        if nbits < 0:
+            raise ValueError(f"bit count must be non-negative, got {nbits}")
+        if value < 0 or (nbits < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buffer.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write(1 if bit else 0, 1)
+
+    def write_ue(self, value: int) -> None:
+        """Unsigned exp-Golomb: value v is coded as the binary of v+1 with
+        leading-zero prefix of equal length minus one."""
+        if value < 0:
+            raise ValueError(f"unsigned exp-Golomb requires value >= 0, got {value}")
+        coded = value + 1
+        length = coded.bit_length()
+        self.write(coded, 2 * length - 1)
+
+    def write_se(self, value: int) -> None:
+        """Signed exp-Golomb: maps 0, 1, -1, 2, -2, ... to 0, 1, 2, 3, 4."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.write_ue(mapped)
+
+    def getvalue(self) -> bytes:
+        """The buffer contents, zero-padded to a whole number of bytes."""
+        if self._nbits == 0:
+            return bytes(self._buffer)
+        tail = (self._acc << (8 - self._nbits)) & 0xFF
+        return bytes(self._buffer) + bytes([tail])
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return len(self._buffer) * 8 + self._nbits
+
+
+def write_uvarint(buffer: bytearray, value: int) -> None:
+    """Append a LEB128 unsigned varint (7 bits per byte, MSB = continue)."""
+    if value < 0:
+        raise ValueError(f"varint requires a non-negative value, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read a LEB128 varint at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("malformed varint (too long)")
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits as an unsigned integer."""
+        if nbits < 0:
+            raise ValueError(f"bit count must be non-negative, got {nbits}")
+        if nbits > self.bits_remaining:
+            raise EOFError(
+                f"requested {nbits} bits with only {self.bits_remaining} remaining"
+            )
+        result = 0
+        remaining = nbits
+        while remaining:
+            byte_index, bit_offset = divmod(self._pos, 8)
+            available = 8 - bit_offset
+            take = min(available, remaining)
+            chunk = self._data[byte_index]
+            chunk >>= available - take
+            chunk &= (1 << take) - 1
+            result = (result << take) | chunk
+            remaining -= take
+            self._pos += take
+        return result
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    def read_ue(self) -> int:
+        """Read an unsigned exp-Golomb code (inverse of ``write_ue``)."""
+        zeros = 0
+        while self.read(1) == 0:
+            zeros += 1
+            if zeros > 63:
+                raise ValueError("malformed exp-Golomb code (prefix too long)")
+        if zeros == 0:
+            return 0
+        suffix = self.read(zeros)
+        return (1 << zeros) + suffix - 1
+
+    def read_se(self) -> int:
+        """Read a signed exp-Golomb code (inverse of ``write_se``)."""
+        mapped = self.read_ue()
+        if mapped % 2:
+            return (mapped + 1) // 2
+        return -(mapped // 2)

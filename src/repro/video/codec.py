@@ -1,0 +1,261 @@
+"""A from-scratch block-transform video codec.
+
+The codec follows the classic hybrid design (the same skeleton as
+H.264/HEVC, minus motion search): 8x8 DCT, scalar quantisation against a
+perceptual matrix, zigzag scan, run/level entropy coding with exp-Golomb
+codes. Frames are either *intra* (I: coded standalone) or *predicted*
+(P: the quantised residual against the previous reconstructed frame).
+
+The encoder maintains the same reconstruction the decoder will produce
+(quantise -> dequantise -> inverse transform), so P-frame chains do not
+drift. Zero-motion prediction ("conditional replenishment") is used instead
+of motion search; this keeps tiles trivially motion-constrained — a block
+never references pixels outside its own tile — which is the property the
+homomorphic tile operators rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.blocks import (
+    forward_dct,
+    inverse_dct,
+    merge_blocks,
+    split_blocks,
+    zigzag_scan,
+    zigzag_unscan,
+)
+from repro.video.frame import Frame
+from repro.video.quality import Quality
+
+# The ITU-T T.81 (JPEG annex K) example matrices: a reasonable perceptual
+# weighting for 8x8 DCT coefficients.
+_BASE_LUMA = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+_BASE_CHROMA = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+FRAME_TYPE_INTRA = 0
+FRAME_TYPE_PREDICTED = 1
+
+
+def quant_matrix(base: np.ndarray, scale: float) -> np.ndarray:
+    """Scale a base quantisation matrix, clamping steps to ``[1, 4096]``."""
+    if scale <= 0:
+        raise ValueError(f"quantiser scale must be positive, got {scale}")
+    return np.clip(np.round(base * scale), 1.0, 4096.0)
+
+
+def _write_rows(writer: BitWriter, rows: np.ndarray) -> None:
+    """Entropy-code ``(n, 64)`` quantised zigzag rows into a bit stream.
+
+    Per block: the nonzero count as unsigned exp-Golomb, then (run, level)
+    pairs — the run of zeros before each nonzero coefficient and its signed
+    value. A count of zero is the skip case and costs a single bit. The
+    stream is self-delimiting given the block count, so planes concatenate
+    with no length prefixes — the overhead floor that would otherwise
+    dominate low-quality segments.
+    """
+    mask = rows != 0
+    counts = mask.sum(axis=1)
+    block_idx, coef_idx = np.nonzero(mask)
+    levels = rows[block_idx, coef_idx]
+    if block_idx.size:
+        first = np.empty(block_idx.size, dtype=bool)
+        first[0] = True
+        np.not_equal(block_idx[1:], block_idx[:-1], out=first[1:])
+        runs = np.where(first, coef_idx, np.diff(coef_idx, prepend=0) - 1)
+    else:
+        runs = coef_idx
+    write_ue = writer.write_ue
+    write_se = writer.write_se
+    cursor = 0
+    runs_list = runs.tolist()
+    levels_list = levels.tolist()
+    for count in counts.tolist():
+        write_ue(count)
+        for _ in range(count):
+            write_ue(runs_list[cursor])
+            write_se(levels_list[cursor])
+            cursor += 1
+
+
+def _read_rows(reader: BitReader, block_count: int) -> np.ndarray:
+    """Inverse of :func:`_write_rows`: a bit stream to ``(n, 64)`` rows."""
+    rows = np.zeros((block_count, 64), dtype=np.int32)
+    read_ue = reader.read_ue
+    read_se = reader.read_se
+    for block in range(block_count):
+        count = read_ue()
+        if count > 64:
+            raise ValueError(f"corrupt bitstream: block {block} claims {count} coefficients")
+        position = -1
+        for _ in range(count):
+            position += read_ue() + 1
+            if position > 63:
+                raise ValueError(f"corrupt bitstream: coefficient index {position} > 63")
+            rows[block, position] = read_se()
+    return rows
+
+
+def _entropy_encode(rows: np.ndarray) -> bytes:
+    """Standalone wrapper of :func:`_write_rows` (padding to whole bytes)."""
+    writer = BitWriter()
+    _write_rows(writer, rows)
+    return writer.getvalue()
+
+
+def _entropy_decode(data: bytes, block_count: int) -> np.ndarray:
+    """Standalone wrapper of :func:`_read_rows`."""
+    return _read_rows(BitReader(data), block_count)
+
+
+@dataclass(frozen=True)
+class PlaneCodec:
+    """Transform coding of one plane (luma or chroma) at a fixed quantiser."""
+
+    qmat: np.ndarray
+
+    def quantise(
+        self, plane: np.ndarray, reference: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Transform + quantise a plane; returns ``(zigzag rows, reconstruction)``.
+
+        With a ``reference`` (the previous reconstructed plane) the residual
+        is coded; without, the plane is coded intra. The reconstruction is
+        bit-exact with what :meth:`reconstruct` produces from the rows.
+        """
+        if reference is None:
+            signal = plane.astype(np.float64) - 128.0
+        else:
+            if reference.shape != plane.shape:
+                raise ValueError(
+                    f"reference shape {reference.shape} != plane shape {plane.shape}"
+                )
+            signal = plane.astype(np.float64) - reference.astype(np.float64)
+        coefficients = forward_dct(split_blocks(signal))
+        quantised = np.round(coefficients / self.qmat).astype(np.int32)
+        rows = zigzag_scan(quantised)
+        reconstruction = self.reconstruct(rows, plane.shape[0], plane.shape[1], reference)
+        return rows, reconstruction
+
+    def reconstruct(
+        self, rows: np.ndarray, height: int, width: int, reference: np.ndarray | None
+    ) -> np.ndarray:
+        """Dequantise + inverse-transform zigzag rows back to a uint8 plane."""
+        quantised = zigzag_unscan(rows)
+        signal = merge_blocks(
+            inverse_dct(quantised.astype(np.float64) * self.qmat), height, width
+        )
+        if reference is None:
+            plane = signal + 128.0
+        else:
+            plane = signal + reference.astype(np.float64)
+        return np.clip(np.round(plane), 0, 255).astype(np.uint8)
+
+    def encode(self, plane: np.ndarray, reference: np.ndarray | None) -> tuple[bytes, np.ndarray]:
+        """Standalone plane encode; returns ``(payload, reconstruction)``."""
+        rows, reconstruction = self.quantise(plane, reference)
+        return _entropy_encode(rows), reconstruction
+
+    def decode(
+        self, payload: bytes, height: int, width: int, reference: np.ndarray | None
+    ) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode` back to uint8."""
+        block_count = (height // 8) * (width // 8)
+        return self.reconstruct(_entropy_decode(payload, block_count), height, width, reference)
+
+
+class FrameCodec:
+    """Whole-frame encode/decode at one :class:`Quality` rung.
+
+    Stateless with respect to the video: callers pass the reference frame
+    explicitly, which keeps the codec reusable across concurrent streams
+    and makes GOP closure an invariant of the caller (see
+    :mod:`repro.video.gop`).
+    """
+
+    def __init__(self, quality: Quality) -> None:
+        self.quality = quality
+        self._luma = PlaneCodec(quant_matrix(_BASE_LUMA, quality.scale))
+        self._chroma = PlaneCodec(quant_matrix(_BASE_CHROMA, quality.scale))
+
+    def _plane_codecs(self) -> tuple[PlaneCodec, PlaneCodec, PlaneCodec]:
+        return (self._luma, self._chroma, self._chroma)
+
+    def encode_frame(self, frame: Frame, reference: Frame | None) -> tuple[bytes, Frame]:
+        """Encode one frame; returns ``(bytes, reconstruction)``.
+
+        The frame is intra when ``reference`` is None, predicted otherwise.
+        Layout: a 1-byte frame type followed by one continuous entropy bit
+        stream covering all three planes — the stream is self-delimiting,
+        so no per-plane framing bytes exist.
+        """
+        if frame.width % 16 or frame.height % 16:
+            raise ValueError(
+                f"frame {frame.width}x{frame.height} must be a multiple of 16 "
+                "(so chroma planes split into whole 8px blocks)"
+            )
+        frame_type = FRAME_TYPE_INTRA if reference is None else FRAME_TYPE_PREDICTED
+        writer = BitWriter()
+        reconstructed_planes = []
+        reference_planes = (None, None, None) if reference is None else reference.planes
+        for codec, plane, ref_plane in zip(self._plane_codecs(), frame.planes, reference_planes):
+            rows, reconstruction = codec.quantise(plane, ref_plane)
+            _write_rows(writer, rows)
+            reconstructed_planes.append(reconstruction)
+        return struct.pack(">B", frame_type) + writer.getvalue(), Frame(*reconstructed_planes)
+
+    def decode_frame(
+        self, data: bytes, width: int, height: int, reference: Frame | None
+    ) -> Frame:
+        """Decode bytes produced by :meth:`encode_frame`."""
+        if len(data) < 1:
+            raise ValueError("empty frame payload")
+        frame_type = data[0]
+        if frame_type == FRAME_TYPE_PREDICTED and reference is None:
+            raise ValueError("predicted frame requires a reference frame")
+        if frame_type == FRAME_TYPE_INTRA:
+            reference = None
+        elif frame_type != FRAME_TYPE_PREDICTED:
+            raise ValueError(f"unknown frame type {frame_type}")
+        reader = BitReader(data[1:])
+        planes = []
+        shapes = [(height, width), (height // 2, width // 2), (height // 2, width // 2)]
+        reference_planes = (None, None, None) if reference is None else reference.planes
+        try:
+            for codec, (plane_h, plane_w), ref_plane in zip(
+                self._plane_codecs(), shapes, reference_planes
+            ):
+                rows = _read_rows(reader, (plane_h // 8) * (plane_w // 8))
+                planes.append(codec.reconstruct(rows, plane_h, plane_w, ref_plane))
+        except EOFError as error:
+            raise ValueError(f"truncated frame payload: {error}") from error
+        return Frame(*planes)

@@ -1,0 +1,79 @@
+"""The encoding quality ladder.
+
+VisualCloud encodes every spatiotemporal segment at several qualities and
+substitutes them per tile at delivery time. A *quality* here is a
+quantiser scale applied to the codec's base quantisation matrices: larger
+scales discard more high-frequency detail and produce fewer bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Quality(enum.Enum):
+    """A rung of the quality ladder, ordered best (HIGH) to worst.
+
+    The ``scale`` multiplies the codec's base quantisation matrices; the
+    resulting bitrates follow the usual codec behaviour of roughly halving
+    per ladder step on natural content. ``downscale`` additionally encodes
+    at reduced spatial resolution (upsampled at decode) — the technique
+    real ladders use to reach large rate gaps, and what lets the bottom
+    rung cost ~10x less than the top.
+    """
+
+    HIGH = ("high", 1.0, 1)
+    MEDIUM = ("medium", 3.0, 1)
+    LOW = ("low", 8.0, 1)
+    LOWEST = ("lowest", 20.0, 1)
+    THUMBNAIL = ("thumbnail", 18.0, 2)
+
+    def __init__(self, label: str, scale: float, downscale: int) -> None:
+        self.label = label
+        self.scale = scale
+        self.downscale = downscale
+
+    @property
+    def rank(self) -> int:
+        """0 for the best quality, increasing as quality drops."""
+        return list(type(self)).index(self)
+
+    def __lt__(self, other: "Quality") -> bool:
+        """Order by fidelity: ``LOWEST < LOW < MEDIUM < HIGH``."""
+        if not isinstance(other, Quality):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __le__(self, other: "Quality") -> bool:
+        if not isinstance(other, Quality):
+            return NotImplemented
+        return self.rank >= other.rank
+
+    def __gt__(self, other: "Quality") -> bool:
+        if not isinstance(other, Quality):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __ge__(self, other: "Quality") -> bool:
+        if not isinstance(other, Quality):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    @classmethod
+    def from_label(cls, label: str) -> "Quality":
+        for quality in cls:
+            if quality.label == label:
+                return quality
+        raise ValueError(f"unknown quality label {label!r}")
+
+    @classmethod
+    def ladder(cls, size: int) -> tuple["Quality", ...]:
+        """The top ``size`` rungs, best first (used by the storage sweep)."""
+        members = list(cls)
+        if not 1 <= size <= len(members):
+            raise ValueError(f"ladder size must be in [1, {len(members)}], got {size}")
+        return tuple(members[:size])
+
+
+#: The full ladder, best quality first.
+QUALITY_LADDER: tuple[Quality, ...] = tuple(Quality)

@@ -1,0 +1,27 @@
+"""Workload generators: synthetic 360 content and viewer populations.
+
+The reference datasets the original evaluation used (the "Timelapse",
+"Venice", and "Coaster" 4K captures) are unavailable offline; these
+generators produce procedural stand-ins whose *coding-relevant* properties
+— spatial detail, temporal change, global camera motion — are controlled
+per profile, so the relative behaviour of policies and codecs carries
+over even though absolute bitrates do not.
+"""
+
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import (
+    PROFILES,
+    VideoProfile,
+    checkerboard_video,
+    solid_video,
+    synthetic_video,
+)
+
+__all__ = [
+    "PROFILES",
+    "VideoProfile",
+    "ViewerPopulation",
+    "checkerboard_video",
+    "solid_video",
+    "synthetic_video",
+]

@@ -1,0 +1,56 @@
+"""Shared fixtures: a tiny ingested database, traces, and frames.
+
+Everything here is deliberately small (tiny rasters, short clips) so the
+full suite stays fast; realism lives in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IngestConfig, Quality, TileGrid, VisualCloud
+from repro.video.frame import Frame
+from repro.workloads.videos import synthetic_video
+
+
+@pytest.fixture(scope="session")
+def tiny_frames() -> list[Frame]:
+    """Six 64x32 frames of moderately compressible synthetic content."""
+    return list(
+        synthetic_video("venice", width=64, height=32, fps=4.0, duration=1.5, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def gradient_frame() -> Frame:
+    """A single smooth frame with full-range luma."""
+    x = np.linspace(0, 255, 64)
+    y = np.linspace(0, 255, 32)
+    luma = ((x[None, :] + y[:, None]) / 2).astype(np.uint8)
+    return Frame.from_luma(luma)
+
+
+@pytest.fixture(scope="session")
+def session_db(tmp_path_factory) -> VisualCloud:
+    """A database with one small stored video ('clip'), shared read-only.
+
+    Tests that mutate the catalog must use the ``db`` fixture instead.
+    """
+    root = tmp_path_factory.mktemp("visualcloud")
+    db = VisualCloud(root)
+    config = IngestConfig(
+        grid=TileGrid(2, 2),
+        qualities=(Quality.HIGH, Quality.LOW),
+        gop_frames=4,
+        fps=4.0,
+    )
+    frames = synthetic_video("venice", width=64, height=32, fps=4.0, duration=3.0, seed=5)
+    db.ingest("clip", frames, config)
+    return db
+
+
+@pytest.fixture()
+def db(tmp_path) -> VisualCloud:
+    """A fresh, empty database per test."""
+    return VisualCloud(tmp_path)

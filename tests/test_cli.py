@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(tmp_path, *argv) -> int:
+    return main(["--root", str(tmp_path / "db"), *argv])
+
+
+def ingest_small(tmp_path, name="demo") -> None:
+    code = run(
+        tmp_path,
+        "ingest",
+        name,
+        "--width",
+        "64",
+        "--height",
+        "32",
+        "--duration",
+        "2",
+        "--fps",
+        "4",
+        "--grid",
+        "2x2",
+        "--gop-frames",
+        "4",
+    )
+    assert code == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_grid_argument(self):
+        args = build_parser().parse_args(["ingest", "x", "--grid", "2x4"])
+        assert (args.grid.rows, args.grid.cols) == (2, 4)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "x", "--grid", "banana"])
+
+    def test_qualities_argument(self):
+        from repro.video.quality import Quality
+
+        args = build_parser().parse_args(["ingest", "x", "--qualities", "high,low"])
+        assert args.qualities == (Quality.HIGH, Quality.LOW)
+
+    def test_bad_quality_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "x", "--qualities", "ultra"])
+
+    def test_time_range_argument(self):
+        args = build_parser().parse_args(["query", "x", "--select-time", "1:2.5"])
+        assert args.select_time == (1.0, 2.5)
+
+
+class TestCommands:
+    def test_ls_empty(self, tmp_path, capsys):
+        assert run(tmp_path, "ls") == 0
+        assert "(no videos)" in capsys.readouterr().out
+
+    def test_ingest_then_ls(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert run(tmp_path, "ls") == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "2.0s" in out
+
+    def test_info(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert run(tmp_path, "info", "demo") == 0
+        out = capsys.readouterr().out
+        assert "64x32" in out
+        assert "2x2 tiles" in out
+
+    def test_serve(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert run(tmp_path, "serve", "demo", "--bandwidth", "20000") == 0
+        out = capsys.readouterr().out
+        assert "total_bytes" in out
+        assert "stall_time_s" in out
+
+    def test_query_store(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert (
+            run(tmp_path, "query", "demo", "--select-time", "0:1", "--grayscale",
+                "--store", "gray")
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stored as 'gray'" in out
+        run(tmp_path, "ls")
+        assert "gray" in capsys.readouterr().out
+
+    def test_vrql_command(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        code = run(
+            tmp_path, "vrql", "SCAN(demo) >> SELECT(time=0:1) >> STORE(head)"
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "homomorphic-gop" in out
+        run(tmp_path, "ls")
+        assert "head" in capsys.readouterr().out
+
+    def test_vrql_error_reported(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert run(tmp_path, "vrql", "SELECT(time=0:1)") == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_import_cycle(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        target = tmp_path / "out.mp4"
+        assert run(tmp_path, "export", "demo", str(target)) == 0
+        assert target.exists()
+        assert run(tmp_path, "import", "copy", str(target)) == 0
+        run(tmp_path, "ls")
+        assert "copy" in capsys.readouterr().out
+
+    def test_drop(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        assert run(tmp_path, "drop", "demo") == 0
+        run(tmp_path, "ls")
+        assert "(no videos)" in capsys.readouterr().out
+
+    def test_errors_exit_nonzero(self, tmp_path, capsys):
+        assert run(tmp_path, "drop", "ghost") == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_duplicate_ingest_fails_cleanly(self, tmp_path, capsys):
+        ingest_small(tmp_path)
+        code = run(
+            tmp_path, "ingest", "demo", "--width", "64", "--height", "32",
+            "--duration", "1", "--fps", "4", "--grid", "2x2", "--gop-frames", "4",
+        )
+        assert code == 1

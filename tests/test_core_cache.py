@@ -1,0 +1,181 @@
+"""Unit tests for the segment buffer cache and its storage integration."""
+
+import math
+
+import pytest
+
+from repro.core.cache import LruSegmentCache
+from repro.core.storage import IngestConfig, StorageManager
+from repro.geometry.grid import TileGrid
+from repro.video.quality import Quality
+from repro.workloads.videos import synthetic_video
+
+
+class TestLruCacheBasics:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LruSegmentCache(0)
+
+    def test_miss_then_hit(self):
+        cache = LruSegmentCache(100)
+        assert cache.get("a") is None
+        cache.put("a", b"xyz")
+        assert cache.get("a") == b"xyz"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_rate(self):
+        cache = LruSegmentCache(100)
+        cache.put("a", b"x")
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_nan_without_requests(self):
+        assert math.isnan(LruSegmentCache(10).stats.hit_rate)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            LruSegmentCache(10).put("a", "string")
+
+
+class TestEviction:
+    def test_evicts_least_recently_used(self):
+        cache = LruSegmentCache(10)
+        cache.put("a", b"aaaa")
+        cache.put("b", b"bbbb")
+        cache.get("a")  # refresh a
+        cache.put("c", b"cccc")  # evicts b
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_size_accounting(self):
+        cache = LruSegmentCache(100)
+        cache.put("a", b"12345")
+        cache.put("b", b"123")
+        assert cache.size_bytes == 8
+        cache.put("a", b"1")  # replace shrinks
+        assert cache.size_bytes == 4
+
+    def test_oversized_value_not_admitted(self):
+        cache = LruSegmentCache(4)
+        cache.put("big", b"12345")
+        assert len(cache) == 0
+        assert cache.get("big") is None
+
+    def test_invalidate(self):
+        cache = LruSegmentCache(100)
+        cache.put("a", b"12")
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        assert cache.size_bytes == 0
+
+    def test_invalidate_prefix(self):
+        cache = LruSegmentCache(100)
+        cache.put(("v1", 0), b"x")
+        cache.put(("v1", 1), b"y")
+        cache.put(("v2", 0), b"z")
+        cache.invalidate_prefix("v1")
+        assert cache.get(("v1", 0)) is None
+        assert cache.get(("v2", 0)) == b"z"
+
+    def test_clear(self):
+        cache = LruSegmentCache(100)
+        cache.put("a", b"12")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.size_bytes == 0
+
+
+@pytest.fixture()
+def loaded(tmp_path) -> StorageManager:
+    storage = StorageManager(tmp_path)
+    config = IngestConfig(
+        grid=TileGrid(2, 2),
+        qualities=(Quality.HIGH,),
+        gop_frames=4,
+        fps=4.0,
+    )
+    frames = synthetic_video("venice", width=64, height=32, fps=4, duration=1, seed=1)
+    storage.ingest("clip", frames, config)
+    return storage
+
+
+class TestStorageIntegration:
+    def test_repeated_reads_hit_cache(self, loaded):
+        loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        assert loaded.segment_cache.stats.hits == 1
+        assert loaded.segment_cache.stats.misses == 1
+
+    def test_cached_bytes_identical(self, loaded):
+        first = loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        second = loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        assert first == second
+
+    def test_drop_invalidates_cache(self, loaded):
+        loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        loaded.drop("clip")
+        assert len(loaded.segment_cache) == 0
+
+    def test_cache_can_be_disabled(self, tmp_path):
+        storage = StorageManager(tmp_path, cache_bytes=0)
+        assert storage.segment_cache is None
+        config = IngestConfig(
+            grid=TileGrid(1, 1), qualities=(Quality.HIGH,), gop_frames=2, fps=2.0
+        )
+        frames = synthetic_video("venice", width=32, height=32, fps=2, duration=1, seed=2)
+        storage.ingest("clip", frames, config)
+        assert storage.read_segment("clip", 0, (0, 0), Quality.HIGH)
+
+
+class TestThreadSafety:
+    def test_concurrent_readers_and_writers(self):
+        import threading
+
+        cache = LruSegmentCache(10_000)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for step in range(300):
+                    key = (worker_id % 3, step % 20)
+                    cache.put(key, bytes(50))
+                    cache.get(key)
+                    if step % 50 == 0:
+                        cache.invalidate_prefix(worker_id % 3)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Internal accounting survived the contention.
+        assert cache.size_bytes == sum(len(v) for v in cache._entries.values())
+
+    def test_concurrent_storage_reads(self, loaded):
+        import threading
+
+        results = []
+        errors = []
+
+        def reader() -> None:
+            try:
+                for _ in range(50):
+                    results.append(
+                        loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(results)) == 1  # every read saw identical bytes

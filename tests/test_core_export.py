@@ -1,0 +1,76 @@
+"""Tests for single-file export/import."""
+
+import pytest
+
+from repro import IngestConfig, Quality, TileGrid
+from repro.core.errors import CatalogError
+from repro.core.export import decode_export, export_video, import_video, read_export
+from repro.video.frame import psnr
+from repro.workloads.videos import synthetic_video
+
+CONFIG = IngestConfig(
+    grid=TileGrid(2, 2),
+    qualities=(Quality.HIGH, Quality.LOW),
+    gop_frames=4,
+    fps=4.0,
+)
+
+
+@pytest.fixture()
+def loaded(db):
+    frames = synthetic_video("venice", width=64, height=32, fps=4, duration=2, seed=8)
+    db.ingest("clip", frames, CONFIG)
+    return db
+
+
+class TestExport:
+    def test_export_writes_parseable_file(self, loaded, tmp_path):
+        target = tmp_path / "clip.mp4"
+        written = export_video(loaded.storage, "clip", target)
+        assert written == target.stat().st_size
+        info, windows = read_export(target)
+        assert info["codec"] == "vctg"
+        assert info["width"] == 64
+        assert info["quality"] == "high"
+        assert info["duration"] == pytest.approx(2.0)
+        assert len(windows) == 2
+
+    def test_export_specific_quality(self, loaded, tmp_path):
+        high = export_video(loaded.storage, "clip", tmp_path / "h.mp4", Quality.HIGH)
+        low = export_video(loaded.storage, "clip", tmp_path / "l.mp4", Quality.LOW)
+        assert low < high
+
+    def test_decode_export_fidelity(self, loaded, tmp_path):
+        target = tmp_path / "clip.mp4"
+        export_video(loaded.storage, "clip", target)
+        decoded = decode_export(target)
+        assert len(decoded) == 8
+        reference = loaded.storage.decode_window("clip", 0, Quality.HIGH)
+        assert decoded[0].equals(reference[0])
+
+    def test_round_trip_through_import(self, loaded, tmp_path):
+        target = tmp_path / "clip.mp4"
+        export_video(loaded.storage, "clip", target)
+        meta = import_video(loaded.storage, "copy", target)
+        assert meta.gop_count == 2
+        original = loaded.storage.decode_window("clip", 1, Quality.HIGH)
+        imported = loaded.storage.decode_window("copy", 1, Quality.HIGH)
+        assert original[0].equals(imported[0])  # stored bytes, no transcode
+
+    def test_import_bad_file(self, loaded, tmp_path):
+        bad = tmp_path / "bad.mp4"
+        bad.write_bytes(b"\x00\x00\x00\x08free")
+        with pytest.raises(CatalogError):
+            import_video(loaded.storage, "x", bad)
+
+    def test_import_missing_atoms(self, loaded, tmp_path):
+        from repro.video.mp4 import Atom, Mp4File
+
+        half = tmp_path / "half.mp4"
+        half.write_bytes(
+            Mp4File(
+                atoms=[Atom("moov", children=[]), Atom("mdat", payload=b"")]
+            ).serialize()
+        )
+        with pytest.raises(CatalogError):
+            read_export(half)

@@ -1,0 +1,146 @@
+"""Tests for shared-link multi-session delivery."""
+
+import pytest
+
+from repro import (
+    ConstantBandwidth,
+    IngestConfig,
+    PredictiveTilingPolicy,
+    Quality,
+    SessionConfig,
+    TileGrid,
+    VisualCloud,
+)
+from repro.core.multisession import SharedLinkStreamer
+from repro.stream.estimator import HarmonicMeanEstimator
+from repro.stream.network import SimulatedLink
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import synthetic_video
+
+DURATION = 3.0
+
+
+@pytest.fixture(scope="module")
+def shared_db(tmp_path_factory):
+    db = VisualCloud(tmp_path_factory.mktemp("shared"))
+    config = IngestConfig(
+        grid=TileGrid(2, 2),
+        qualities=(Quality.HIGH, Quality.LOWEST),
+        gop_frames=4,
+        fps=4.0,
+    )
+    frames = synthetic_video("venice", width=64, height=32, fps=4, duration=DURATION, seed=15)
+    db.ingest("clip", frames, config)
+    return db
+
+
+def make_sessions(count, predictor="static", estimator=False):
+    population = ViewerPopulation(seed=3)
+    sessions = []
+    for user in range(count):
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(1e9),  # ignored in shared mode
+            predictor=predictor,
+            margin=0,
+            estimator=HarmonicMeanEstimator() if estimator else None,
+        )
+        sessions.append(("clip", population.trace(user, DURATION, rate=10.0), config))
+    return sessions
+
+
+class TestSharedLink:
+    def test_rejects_empty(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        with pytest.raises(ValueError):
+            streamer.serve_all([], SimulatedLink(ConstantBandwidth(1000)))
+
+    def test_offsets_length_validated(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        with pytest.raises(ValueError):
+            streamer.serve_all(
+                make_sessions(2), SimulatedLink(ConstantBandwidth(1000)), [0.0]
+            )
+
+    def test_single_session_matches_private_link(self, shared_db):
+        """With one session, shared-mode delivery must equal the
+        single-session streamer byte for byte."""
+        sessions = make_sessions(1)
+        name, trace, config = sessions[0]
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        rate = 50_000.0
+        shared_report = streamer.serve_all(
+            sessions, SimulatedLink(ConstantBandwidth(rate))
+        )[0]
+        private_config = SessionConfig(
+            policy=config.policy,
+            bandwidth=ConstantBandwidth(rate),
+            predictor="static",
+            margin=0,
+        )
+        private_report = shared_db.serve(name, trace, private_config)
+        assert shared_report.total_bytes == private_report.total_bytes
+        assert [r.quality_map for r in shared_report.records] == [
+            r.quality_map for r in private_report.records
+        ]
+
+    def test_all_sessions_complete(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        reports = streamer.serve_all(
+            make_sessions(4), SimulatedLink(ConstantBandwidth(100_000))
+        )
+        assert len(reports) == 4
+        assert all(len(report.records) == 3 for report in reports)
+
+    def test_generous_link_no_stalls(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        reports = streamer.serve_all(
+            make_sessions(4), SimulatedLink(ConstantBandwidth(1e8))
+        )
+        assert all(report.stall_time == 0.0 for report in reports)
+
+    def test_contention_causes_stalls(self, shared_db):
+        """A link that serves one viewer fine must stall eight of them."""
+        manifest = shared_db.storage.build_manifest("clip")
+        one_viewer_rate = sum(
+            manifest.full_sphere_size(window, Quality.HIGH)
+            for window in range(manifest.window_count)
+        ) / manifest.duration
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        solo = streamer.serve_all(
+            make_sessions(1), SimulatedLink(ConstantBandwidth(one_viewer_rate))
+        )
+        crowd = streamer.serve_all(
+            make_sessions(8), SimulatedLink(ConstantBandwidth(one_viewer_rate))
+        )
+        assert sum(report.stall_time for report in solo) == pytest.approx(0.0, abs=0.2)
+        assert sum(report.stall_time for report in crowd) > 1.0
+
+    def test_estimators_adapt_under_contention(self, shared_db):
+        """Estimating clients observe contention and downgrade, stalling
+        less than oracle-optimistic clients on the same link."""
+        manifest = shared_db.storage.build_manifest("clip")
+        rate = 2.0 * sum(
+            manifest.full_sphere_size(window, Quality.HIGH)
+            for window in range(manifest.window_count)
+        ) / manifest.duration
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        blind = streamer.serve_all(
+            make_sessions(8), SimulatedLink(ConstantBandwidth(rate))
+        )
+        adaptive = streamer.serve_all(
+            make_sessions(8, estimator=True), SimulatedLink(ConstantBandwidth(rate))
+        )
+        blind_stalls = sum(report.stall_time for report in blind)
+        adaptive_stalls = sum(report.stall_time for report in adaptive)
+        assert adaptive_stalls <= blind_stalls
+
+    def test_staggered_arrivals(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        reports = streamer.serve_all(
+            make_sessions(2),
+            SimulatedLink(ConstantBandwidth(1e6)),
+            start_offsets=[0.0, 5.0],
+        )
+        assert reports[1].records[0].request_time >= 5.0
+        assert reports[0].records[0].request_time < 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for the prediction service."""
+
+import pytest
+
+from repro.core.predictor import PREDICTOR_KINDS, PredictionService
+from repro.geometry.grid import TileGrid
+from repro.predict.predictors import (
+    DeadReckoningPredictor,
+    LinearRegressionPredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    StaticPredictor,
+)
+from repro.predict.traces import HeadMovementModel, circular_pan_trace
+
+
+@pytest.fixture()
+def service() -> PredictionService:
+    return PredictionService()
+
+
+class TestFactory:
+    def test_static(self, service):
+        assert isinstance(service.session_predictor("static"), StaticPredictor)
+
+    def test_deadreckoning(self, service):
+        assert isinstance(
+            service.session_predictor("deadreckoning"), DeadReckoningPredictor
+        )
+
+    def test_linear(self, service):
+        assert isinstance(service.session_predictor("linear"), LinearRegressionPredictor)
+
+    def test_oracle_requires_trace(self, service):
+        with pytest.raises(ValueError):
+            service.session_predictor("oracle")
+
+    def test_oracle(self, service):
+        trace = circular_pan_trace(2.0)
+        predictor = service.session_predictor("oracle", trace=trace)
+        assert isinstance(predictor, OraclePredictor)
+        assert predictor.trace is trace
+
+    def test_unknown_kind(self, service):
+        with pytest.raises(ValueError):
+            service.session_predictor("psychic")
+
+    def test_kind_list_is_complete(self, service):
+        trace = circular_pan_trace(2.0)
+        grid = TileGrid(2, 2)
+        service.train("v", grid, [trace])
+        for kind in PREDICTOR_KINDS:
+            service.session_predictor(kind, video="v", grid=grid, trace=trace)
+
+
+class TestMarkovTraining:
+    def test_markov_requires_training(self, service):
+        with pytest.raises(ValueError):
+            service.session_predictor("markov", video="v", grid=TileGrid(2, 2))
+
+    def test_markov_requires_video_and_grid(self, service):
+        with pytest.raises(ValueError):
+            service.session_predictor("markov")
+
+    def test_trained_sessions_share_matrix(self, service):
+        grid = TileGrid(2, 4)
+        corpus = HeadMovementModel().generate_corpus(3, 10.0, rate=10.0, seed=2)
+        service.train("v", grid, corpus)
+        assert service.is_trained("v", grid)
+        a = service.session_predictor("markov", video="v", grid=grid)
+        b = service.session_predictor("markov", video="v", grid=grid)
+        assert isinstance(a, MarkovPredictor)
+        assert a is not b
+        assert a.transitions is b.transitions
+
+    def test_training_is_per_video_and_grid(self, service):
+        grid = TileGrid(2, 2)
+        service.train("v", grid, [circular_pan_trace(5.0)])
+        assert not service.is_trained("v", TileGrid(4, 4))
+        assert not service.is_trained("w", grid)

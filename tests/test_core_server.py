@@ -1,0 +1,100 @@
+"""Tests for the VisualCloud facade."""
+
+import pytest
+
+from repro import (
+    ConstantBandwidth,
+    IngestConfig,
+    NaiveFullQuality,
+    PredictiveTilingPolicy,
+    Quality,
+    Scan,
+    SessionConfig,
+    TileGrid,
+)
+from repro.core.errors import CatalogError
+from repro.predict.traces import HeadMovementModel
+from repro.workloads.videos import synthetic_video
+
+CONFIG = IngestConfig(
+    grid=TileGrid(2, 2),
+    qualities=(Quality.HIGH, Quality.LOW),
+    gop_frames=4,
+    fps=4.0,
+)
+
+
+def load(db, name="clip", duration=2.0, seed=1):
+    frames = synthetic_video("venice", width=64, height=32, fps=4.0, duration=duration, seed=seed)
+    return db.ingest(name, frames, CONFIG)
+
+
+class TestCatalogFacade:
+    def test_fresh_db_is_empty(self, db):
+        assert db.list_videos() == []
+
+    def test_ingest_and_list(self, db):
+        load(db)
+        assert db.list_videos() == ["clip"]
+        assert db.exists("clip")
+
+    def test_meta_passthrough(self, db):
+        load(db)
+        assert db.meta("clip").gop_count == 2
+
+    def test_drop(self, db):
+        load(db)
+        db.drop("clip")
+        assert not db.exists("clip")
+
+    def test_drop_missing(self, db):
+        with pytest.raises(CatalogError):
+            db.drop("ghost")
+
+    def test_default_ingest_config(self, db):
+        frames = synthetic_video(
+            "venice", width=128, height=64, fps=30.0, duration=1.0, seed=0
+        )
+        meta = db.ingest("default", frames)
+        assert meta.grid == TileGrid(4, 4)
+
+
+class TestServeFacade:
+    def test_serve_round_trip(self, db):
+        load(db, duration=3.0)
+        trace = HeadMovementModel().generate(3.0, rate=10.0, seed=2)
+        report = db.serve(
+            "clip",
+            trace,
+            SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)),
+        )
+        assert len(report.records) == 3
+
+    def test_train_predictor_then_markov_session(self, db):
+        load(db, duration=3.0)
+        corpus = HeadMovementModel().generate_corpus(2, 3.0, rate=10.0, seed=4)
+        db.train_predictor("clip", corpus)
+        trace = HeadMovementModel().generate(3.0, rate=10.0, seed=5)
+        report = db.serve(
+            "clip",
+            trace,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(1e6),
+                predictor="markov",
+            ),
+        )
+        assert len(report.records) == 3
+
+
+class TestQueryFacade:
+    def test_execute_and_append(self, db):
+        load(db, duration=2.0)
+        from repro.core import udfs
+
+        db.execute(Scan("clip").map(udfs.grayscale).store("gray"))
+        assert "gray" in db.list_videos()
+        meta = db.append("clip", synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=1.0, seed=9
+        ))
+        assert meta.gop_count == 3

@@ -1,0 +1,253 @@
+"""Unit and integration tests for the storage manager."""
+
+import pytest
+
+from repro.core.errors import CatalogError, IngestError, SegmentNotFoundError
+from repro.core.storage import IngestConfig, StorageManager
+from repro.geometry.grid import TileGrid
+from repro.video.frame import psnr
+from repro.video.quality import Quality
+from repro.video.tiles import TiledVideoCodec
+from repro.workloads.videos import checkerboard_video, synthetic_video
+
+
+CONFIG = IngestConfig(
+    grid=TileGrid(2, 2),
+    qualities=(Quality.HIGH, Quality.LOW),
+    gop_frames=4,
+    fps=4.0,
+)
+
+
+@pytest.fixture()
+def storage(tmp_path) -> StorageManager:
+    return StorageManager(tmp_path)
+
+
+@pytest.fixture()
+def loaded(storage) -> StorageManager:
+    frames = synthetic_video("venice", width=64, height=32, fps=4.0, duration=3.0, seed=1)
+    storage.ingest("clip", frames, CONFIG)
+    return storage
+
+
+class TestIngestConfig:
+    def test_defaults_are_valid(self):
+        IngestConfig()
+
+    def test_rejects_bad_gop(self):
+        with pytest.raises(ValueError):
+            IngestConfig(gop_frames=0)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ValueError):
+            IngestConfig(fps=0.0)
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError):
+            IngestConfig(qualities=())
+
+    def test_rejects_misordered_ladder(self):
+        with pytest.raises(ValueError):
+            IngestConfig(qualities=(Quality.LOW, Quality.HIGH))
+
+    def test_gop_duration(self):
+        assert IngestConfig(gop_frames=15, fps=30.0).gop_duration == pytest.approx(0.5)
+
+
+class TestIngest:
+    def test_meta_shape(self, loaded):
+        meta = loaded.meta("clip")
+        assert meta.version == 1
+        assert meta.gop_count == 3
+        assert meta.gop_frame_counts == [4, 4, 4]
+        assert meta.duration == pytest.approx(3.0)
+        assert meta.qualities == (Quality.HIGH, Quality.LOW)
+
+    def test_every_segment_indexed(self, loaded):
+        meta = loaded.meta("clip")
+        assert len(meta.entries) == 3 * 4 * 2  # gops x tiles x qualities
+
+    def test_partial_final_gop(self, storage):
+        frames = synthetic_video("venice", width=64, height=32, fps=4.0, duration=2.5, seed=1)
+        meta = storage.ingest("clip", frames, CONFIG)
+        assert meta.gop_frame_counts == [4, 4, 2]
+        assert meta.duration == pytest.approx(2.5)
+
+    def test_empty_source_rejected_and_rolled_back(self, storage):
+        with pytest.raises(IngestError):
+            storage.ingest("clip", iter([]), CONFIG)
+        assert not storage.exists("clip")
+
+    def test_duplicate_name_rejected(self, loaded):
+        with pytest.raises(CatalogError):
+            loaded.ingest("clip", iter([]), CONFIG)
+
+    def test_low_quality_smaller_than_high(self, loaded):
+        meta = loaded.meta("clip")
+        high = sum(e.size for (g, t, q), e in meta.entries.items() if q is Quality.HIGH)
+        low = sum(e.size for (g, t, q), e in meta.entries.items() if q is Quality.LOW)
+        assert low < high / 2
+
+
+class TestMetadataRoundTrip:
+    def test_parse_from_disk_matches(self, loaded):
+        in_memory = loaded.meta("clip")
+        loaded._meta_cache.clear()
+        from_disk = loaded.meta("clip")
+        assert from_disk.entries == in_memory.entries
+        assert from_disk.gop_frame_counts == in_memory.gop_frame_counts
+        assert from_disk.qualities == in_memory.qualities
+        assert from_disk.grid == in_memory.grid
+        assert from_disk.fps == in_memory.fps
+        assert from_disk.projection == in_memory.projection
+
+    def test_missing_version(self, loaded):
+        with pytest.raises(CatalogError):
+            loaded.meta("clip", version=9)
+
+
+class TestReads:
+    def test_read_segment_round_trips(self, loaded):
+        data = loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        from repro.video.gop import decode_any_gop
+
+        frames = decode_any_gop(data)
+        assert len(frames) == 4
+
+    def test_read_segment_missing(self, loaded):
+        with pytest.raises(SegmentNotFoundError):
+            loaded.read_segment("clip", 9, (0, 0), Quality.HIGH)
+
+    def test_read_window_mixed_quality(self, loaded):
+        quality_map = {tile: Quality.LOW for tile in TileGrid(2, 2).tiles()}
+        quality_map[(0, 0)] = Quality.HIGH
+        window = loaded.read_window("clip", 1, quality_map)
+        assert window.tile_quality(0, 0) is Quality.HIGH
+        assert window.tile_quality(1, 1) is Quality.LOW
+        assert window.frame_count == 4
+
+    def test_decode_window_fidelity(self, storage):
+        frames = checkerboard_video(width=64, height=32, frames=4)
+        storage.ingest("board", iter(frames), CONFIG)
+        decoded = storage.decode_window("board", 0, Quality.HIGH)
+        assert psnr(frames[0], decoded[0]) > 30
+
+    def test_gops_overlapping(self, loaded):
+        meta = loaded.meta("clip")
+        assert meta.gops_overlapping(0.0, 3.0) == [0, 1, 2]
+        assert meta.gops_overlapping(1.2, 1.8) == [1]
+        assert meta.gops_overlapping(0.9, 1.1) == [0, 1]
+
+    def test_gops_overlapping_empty_range(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.meta("clip").gops_overlapping(2.0, 2.0)
+
+    def test_total_bytes_matches_index(self, loaded):
+        meta = loaded.meta("clip")
+        assert loaded.total_bytes("clip") == sum(e.size for e in meta.entries.values())
+
+
+class TestAppend:
+    def test_append_creates_new_version(self, loaded):
+        more = synthetic_video("venice", width=64, height=32, fps=4.0, duration=1.0, seed=2)
+        meta = loaded.append("clip", more)
+        assert meta.version == 2
+        assert meta.gop_count == 4
+        assert meta.streaming is True
+
+    def test_old_version_still_readable(self, loaded):
+        more = synthetic_video("venice", width=64, height=32, fps=4.0, duration=1.0, seed=2)
+        loaded.append("clip", more)
+        old = loaded.meta("clip", version=1)
+        assert old.gop_count == 3
+        assert loaded.read_segment("clip", 0, (0, 0), Quality.HIGH, version=1)
+
+    def test_appended_segments_share_old_files(self, loaded):
+        more = synthetic_video("venice", width=64, height=32, fps=4.0, duration=1.0, seed=2)
+        meta = loaded.append("clip", more)
+        assert meta.entries[(0, (0, 0), Quality.HIGH)].file_version == 1
+        assert meta.entries[(3, (0, 0), Quality.HIGH)].file_version == 2
+
+    def test_append_to_partial_gop_rejected(self, storage):
+        frames = synthetic_video("venice", width=64, height=32, fps=4.0, duration=2.5, seed=1)
+        storage.ingest("clip", frames, CONFIG)
+        with pytest.raises(IngestError):
+            storage.append("clip", checkerboard_video(64, 32, 4))
+
+    def test_append_wrong_dimensions(self, loaded):
+        with pytest.raises(IngestError):
+            loaded.append("clip", checkerboard_video(width=32, height=32, frames=4))
+
+
+class TestStoreWindows:
+    def test_store_encoded_windows(self, storage):
+        frames = checkerboard_video(width=64, height=32, frames=8)
+        codec = TiledVideoCodec(TileGrid(2, 2), 64, 32)
+        windows = [
+            codec.encode_gop(frames[:4], Quality.HIGH),
+            codec.encode_gop(frames[4:], Quality.HIGH),
+        ]
+        meta = storage.store_windows("result", windows, fps=4.0)
+        assert meta.version == 1
+        assert meta.gop_count == 2
+        assert storage.read_segment("result", 0, (0, 0), Quality.HIGH)
+
+    def test_store_over_existing_makes_version(self, loaded):
+        window = loaded.read_window(
+            "clip", 0, {tile: Quality.HIGH for tile in TileGrid(2, 2).tiles()}
+        )
+        meta = loaded.store_windows("clip", [window], fps=4.0)
+        assert meta.version == 2
+        assert loaded.catalog.latest_version("clip") == 2
+
+    def test_store_rejects_empty(self, storage):
+        with pytest.raises(IngestError):
+            storage.store_windows("x", [], fps=4.0)
+
+    def test_store_rejects_mixed_layouts(self, storage):
+        frames = checkerboard_video(width=64, height=32, frames=4)
+        a = TiledVideoCodec(TileGrid(2, 2), 64, 32).encode_gop(frames, Quality.HIGH)
+        b = TiledVideoCodec(TileGrid(1, 1), 64, 32).encode_gop(frames, Quality.HIGH)
+        with pytest.raises(IngestError):
+            storage.store_windows("x", [a, b], fps=4.0)
+
+    def test_metadata_never_overwritten(self, loaded):
+        meta = loaded.meta("clip")
+        with pytest.raises(CatalogError):
+            loaded._commit_meta(meta)  # same version again
+
+
+class TestManifest:
+    def test_manifest_matches_meta(self, loaded):
+        manifest = loaded.build_manifest("clip")
+        meta = loaded.meta("clip")
+        assert manifest.window_count == meta.gop_count
+        assert manifest.grid == meta.grid
+        assert manifest.qualities == meta.qualities
+        assert len(manifest.segment_sizes) == len(meta.entries)
+
+    def test_manifest_sizes_are_real_file_sizes(self, loaded):
+        manifest = loaded.build_manifest("clip")
+        from repro.stream.dash import SegmentKey
+
+        key = SegmentKey(0, (0, 0), Quality.HIGH)
+        assert manifest.segment_sizes[key] == len(
+            loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        )
+
+    def test_incomplete_ladder_not_servable(self, storage):
+        frames = checkerboard_video(width=64, height=32, frames=4)
+        codec = TiledVideoCodec(TileGrid(2, 2), 64, 32)
+        window = codec.encode_gop(frames, Quality.HIGH, tiles={(0, 0)})
+        storage.store_windows("partial", [window], fps=4.0)
+        with pytest.raises(SegmentNotFoundError):
+            storage.build_manifest("partial")
+
+
+class TestDrop:
+    def test_drop_clears_cache_and_disk(self, loaded):
+        loaded.drop("clip")
+        assert not loaded.exists("clip")
+        with pytest.raises(CatalogError):
+            loaded.meta("clip")

@@ -1,0 +1,182 @@
+"""Integration tests for the delivery engine."""
+
+import math
+
+import pytest
+
+from repro.core.storage import IngestConfig, StorageManager
+from repro.core.predictor import PredictionService
+from repro.core.streamer import SessionConfig, Streamer
+from repro.geometry.grid import TileGrid
+from repro.predict.traces import HeadMovementModel, circular_pan_trace
+from repro.stream.abr import NaiveFullQuality, PredictiveTilingPolicy, UniformAdaptive
+from repro.stream.network import ConstantBandwidth, SteppedBandwidth
+from repro.video.quality import Quality
+from repro.workloads.videos import synthetic_video
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    storage = StorageManager(tmp_path_factory.mktemp("store"))
+    config = IngestConfig(
+        grid=TileGrid(2, 4),
+        qualities=(Quality.HIGH, Quality.LOWEST),
+        gop_frames=4,
+        fps=4.0,
+    )
+    frames = synthetic_video("venice", width=128, height=64, fps=4.0, duration=5.0, seed=3)
+    storage.ingest("clip", frames, config)
+    return Streamer(storage, PredictionService())
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return HeadMovementModel().generate(5.0, rate=10.0, seed=8)
+
+
+def session(policy, bandwidth=50_000.0, **kwargs) -> SessionConfig:
+    return SessionConfig(
+        policy=policy, bandwidth=ConstantBandwidth(bandwidth), **kwargs
+    )
+
+
+class TestBasicSessions:
+    def test_naive_serves_every_window(self, served, trace):
+        report = served.serve("clip", trace, session(NaiveFullQuality()))
+        assert len(report.records) == 5
+        assert report.total_bytes > 0
+
+    def test_predictive_saves_bytes(self, served, trace):
+        naive = served.serve("clip", trace, session(NaiveFullQuality()))
+        predictive = served.serve(
+            "clip", trace, session(PredictiveTilingPolicy(), margin=0)
+        )
+        assert predictive.bytes_saved_vs(naive) > 0.2
+
+    def test_oracle_saves_at_least_as_much_as_static(self, served, trace):
+        def run(kind):
+            return served.serve(
+                "clip",
+                trace,
+                session(PredictiveTilingPolicy(), predictor=kind, margin=0),
+            ).total_bytes
+
+        assert run("oracle") <= run("static") * 1.1
+
+    def test_bytes_match_manifest_sizes(self, served, trace):
+        report = served.serve("clip", trace, session(NaiveFullQuality()))
+        manifest = served.storage.build_manifest("clip")
+        for record in report.records:
+            assert record.bytes_sent == manifest.window_size(
+                record.window, record.quality_map
+            )
+
+    def test_every_tile_assigned_every_window(self, served, trace):
+        report = served.serve("clip", trace, session(PredictiveTilingPolicy()))
+        for record in report.records:
+            assert set(record.quality_map) == set(TileGrid(2, 4).tiles())
+
+
+class TestStalls:
+    @pytest.fixture()
+    def naive_rate(self, served) -> float:
+        """Bytes/second needed to stream the full sphere at top quality."""
+        manifest = served.storage.build_manifest("clip")
+        total = sum(
+            manifest.full_sphere_size(window, Quality.HIGH)
+            for window in range(manifest.window_count)
+        )
+        return total / manifest.duration
+
+    def test_generous_bandwidth_never_stalls(self, served, trace):
+        report = served.serve("clip", trace, session(NaiveFullQuality(), bandwidth=1e9))
+        assert report.stall_time == 0.0
+
+    def test_starved_naive_stalls(self, served, trace, naive_rate):
+        report = served.serve(
+            "clip", trace, session(NaiveFullQuality(), bandwidth=naive_rate * 0.5)
+        )
+        assert report.stall_time > 0.0
+
+    def test_predictive_stalls_less_than_naive_when_starved(
+        self, served, trace, naive_rate
+    ):
+        bandwidth = naive_rate * 0.7
+        naive = served.serve("clip", trace, session(NaiveFullQuality(), bandwidth=bandwidth))
+        adaptive = served.serve(
+            "clip", trace, session(PredictiveTilingPolicy(), bandwidth=bandwidth, margin=0)
+        )
+        assert adaptive.stall_time < naive.stall_time
+
+    def test_uniform_adapts_to_bandwidth_step(self, served, trace, naive_rate):
+        stepped = SteppedBandwidth(
+            steps=((0.0, naive_rate * 10.0), (2.0, naive_rate * 0.5))
+        )
+        config = SessionConfig(policy=UniformAdaptive(), bandwidth=stepped)
+        report = served.serve("clip", trace, config)
+        early_best = report.records[0].quality_map[(0, 0)]
+        late_best = report.records[-1].quality_map[(0, 0)]
+        assert early_best > late_best
+
+
+class TestQualityProbe:
+    def test_probe_fills_viewport_psnr(self, served, trace):
+        config = session(PredictiveTilingPolicy(), evaluate_quality=True, margin=0)
+        report = served.serve("clip", trace, config)
+        assert not math.isnan(report.mean_viewport_psnr)
+
+    def test_naive_probe_hits_ceiling(self, served, trace):
+        config = session(NaiveFullQuality(), evaluate_quality=True)
+        report = served.serve("clip", trace, config)
+        assert report.mean_viewport_psnr == pytest.approx(99.0)
+
+    def test_predictive_viewport_quality_stays_high(self, served, trace):
+        """The headline QoE claim: quality in the viewport barely drops."""
+        config = session(PredictiveTilingPolicy(), evaluate_quality=True, margin=1)
+        report = served.serve("clip", trace, config)
+        assert report.mean_viewport_psnr > 30
+
+
+class TestPredictorsInLoop:
+    @pytest.mark.parametrize("kind", ["static", "deadreckoning", "linear", "oracle"])
+    def test_all_predictor_kinds_serve(self, served, trace, kind):
+        config = session(PredictiveTilingPolicy(), predictor=kind)
+        report = served.serve("clip", trace, config)
+        assert len(report.records) == 5
+
+    def test_markov_predictor_serves_after_training(self, served, trace):
+        corpus = HeadMovementModel().generate_corpus(3, 5.0, rate=10.0, seed=1)
+        served.prediction.train("clip", TileGrid(2, 4), corpus)
+        config = session(PredictiveTilingPolicy(), predictor="markov")
+        report = served.serve("clip", trace, config)
+        assert len(report.records) == 5
+
+    def test_oracle_has_perfect_recall(self, served, trace):
+        config = session(PredictiveTilingPolicy(), predictor="oracle", margin=0)
+        report = served.serve("clip", trace, config)
+        for record in report.records:
+            assert record.visible_tiles <= record.predicted_tiles
+
+
+class TestBufferCoupling:
+    def test_deeper_buffer_worse_prediction(self, served):
+        """With a hard-to-predict trace, deeper buffers (longer horizons)
+        should not improve prediction recall."""
+        trace = HeadMovementModel(fixation_duration_mean=0.8).generate(
+            5.0, rate=10.0, seed=12
+        )
+
+        def recall(buffer_windows):
+            config = session(
+                PredictiveTilingPolicy(),
+                margin=0,
+                buffer_windows=buffer_windows,
+            )
+            report = served.serve("clip", trace, config)
+            hits = sum(
+                len(r.visible_tiles & r.predicted_tiles) for r in report.records[2:]
+            )
+            total = sum(len(r.visible_tiles) for r in report.records[2:])
+            return hits / total
+
+        assert recall(4.0) <= recall(1.0) + 0.05

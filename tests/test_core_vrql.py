@@ -1,0 +1,237 @@
+"""Tests for the VRQL textual query language."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.query import Encode, Map, Scan, Select, Store, Union
+from repro.core.vrql import parse, register_udf
+from repro.video.quality import Quality
+
+
+class TestParsing:
+    def test_bare_scan(self):
+        expr = parse("SCAN(venice)")
+        assert expr == Scan("venice")
+
+    def test_scan_with_quality_and_version(self):
+        expr = parse("SCAN(venice, quality=low, version=2)")
+        assert expr == Scan("venice", quality=Quality.LOW, version=2)
+
+    def test_case_insensitive_operators(self):
+        assert parse("scan(v)") == Scan("v")
+
+    def test_pipeline(self):
+        expr = parse("SCAN(v) >> SELECT(time=0:2) >> STORE(out)")
+        assert isinstance(expr, Store)
+        assert expr.name == "out"
+        assert isinstance(expr.source, Select)
+        assert expr.source.time == (0.0, 2.0)
+        assert expr.source.source == Scan("v")
+
+    def test_select_multiple_dimensions(self):
+        expr = parse("SCAN(v) >> SELECT(time=1:3, theta=0:pi, phi=0:pi/2)")
+        assert expr.time == (1.0, 3.0)
+        assert expr.theta == (0.0, pytest.approx(math.pi))
+        assert expr.phi == (0.0, pytest.approx(math.pi / 2))
+
+    def test_pi_arithmetic(self):
+        expr = parse("SCAN(v) >> SELECT(theta=pi/4:3*pi/2)")
+        lo, hi = expr.theta
+        assert lo == pytest.approx(math.pi / 4)
+        assert hi == pytest.approx(3 * math.pi / 2)
+
+    def test_map_builtin(self):
+        from repro.core import udfs
+
+        expr = parse("SCAN(v) >> MAP(grayscale)")
+        assert isinstance(expr, Map)
+        assert expr.fn is udfs.grayscale
+
+    def test_encode(self):
+        expr = parse("SCAN(v) >> ENCODE(lowest)")
+        assert isinstance(expr, Encode)
+        assert expr.quality is Quality.LOWEST
+
+    def test_union_of_two_scans(self):
+        expr = parse("UNION(SCAN(a), SCAN(b))")
+        assert expr == Union(Scan("a"), Scan("b"))
+
+    def test_union_n_ary_left_associates(self):
+        expr = parse("UNION(SCAN(a), SCAN(b), SCAN(c))")
+        assert expr == Union(Union(Scan("a"), Scan("b")), Scan("c"))
+
+    def test_union_with_nested_pipeline(self):
+        expr = parse("UNION(SCAN(a), SCAN(b) >> SELECT(theta=0:pi))")
+        assert isinstance(expr.right, Select)
+
+    def test_pipe_into_union(self):
+        expr = parse("SCAN(a) >> UNION(SCAN(b))")
+        assert expr == Union(Scan("a"), Scan("b"))
+
+    def test_whitespace_insensitive(self):
+        tight = parse("SCAN(v)>>SELECT(time=0:1)")
+        spaced = parse("  SCAN( v )  >>  SELECT( time = 0 : 1 )  ")
+        assert tight == spaced
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse("   ")
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError, match="unknown operator"):
+            parse("SCAN(v) >> FROBNICATE()")
+
+    def test_unknown_udf(self):
+        with pytest.raises(QueryError, match="unknown UDF"):
+            parse("SCAN(v) >> MAP(nonexistent)")
+
+    def test_select_without_source(self):
+        with pytest.raises(QueryError, match="needs an input"):
+            parse("SELECT(time=0:1)")
+
+    def test_scan_cannot_be_piped_into(self):
+        with pytest.raises(QueryError, match="cannot be piped"):
+            parse("SCAN(a) >> SCAN(b)")
+
+    def test_select_requires_dimension(self):
+        with pytest.raises(QueryError, match="at least one"):
+            parse("SCAN(v) >> SELECT()")
+
+    def test_select_rejects_unknown_dimension(self):
+        with pytest.raises(QueryError, match="unexpected arguments"):
+            parse("SCAN(v) >> SELECT(depth=0:1)")
+
+    def test_select_rejects_scalar_bounds(self):
+        with pytest.raises(QueryError, match="lo:hi"):
+            parse("SCAN(v) >> SELECT(time=3)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError, match="trailing"):
+            parse("SCAN(v) extra")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QueryError):
+            parse("SCAN(v")
+
+    def test_union_needs_two(self):
+        with pytest.raises(QueryError, match="at least two"):
+            parse("UNION(SCAN(a))")
+
+    def test_division_by_zero(self):
+        with pytest.raises(QueryError, match="division by zero"):
+            parse("SCAN(v) >> SELECT(theta=0:pi/0)")
+
+    def test_bad_quality(self):
+        with pytest.raises(QueryError, match="unknown quality"):
+            parse("SCAN(v, quality=ultra)")
+
+    def test_untokenisable_input(self):
+        with pytest.raises(QueryError, match="tokenise"):
+            parse("SCAN(v) >> SELECT(time=0:1) @")
+
+
+class TestRegistry:
+    def test_register_udf(self):
+        def flip(frame):
+            return frame
+
+        register_udf("flip_test", flip)
+        expr = parse("SCAN(v) >> MAP(flip_test)")
+        assert expr.fn is flip
+
+    def test_register_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            register_udf("no spaces", lambda frame: frame)
+
+
+class TestExecution:
+    def test_vrql_end_to_end(self, session_db):
+        result = session_db.vrql(
+            "SCAN(clip) >> SELECT(time=0:1) >> MAP(grayscale) >> STORE(vrql_gray)"
+        )
+        assert "store:catalog" in result.stats.operator_paths
+        assert "vrql_gray" in session_db.list_videos()
+        window = session_db.storage.decode_window(
+            "vrql_gray", 0, session_db.meta("vrql_gray").qualities[0]
+        )
+        assert np.all(np.abs(window[0].u.astype(int) - 128) < 8)
+
+    def test_vrql_homomorphic_select(self, session_db):
+        result = session_db.vrql("SCAN(clip) >> SELECT(theta=0:pi)")
+        assert "select.angular:homomorphic-tile" in result.stats.operator_paths
+        assert result.stats.decode_ops == 0
+
+    def test_vrql_union_execution(self, session_db):
+        result = session_db.vrql(
+            "UNION(SCAN(clip, quality=low), SCAN(clip) >> SELECT(theta=0:pi))"
+        )
+        window = result.value.windows[0]
+        assert window.tile_quality(0, 0) is Quality.HIGH  # right operand won
+        assert window.tile_quality(0, 1) is Quality.LOW
+
+
+class TestFormatting:
+    def test_format_simple_scan(self):
+        from repro.core.vrql import format_expr
+
+        assert format_expr(Scan("v")) == "SCAN(v)"
+
+    def test_format_pipeline_round_trip(self):
+        from repro.core.vrql import format_expr
+
+        text = "SCAN(v, quality=low) >> SELECT(time=0:2, theta=0:pi) >> MAP(blur) >> ENCODE(lowest) >> STORE(out)"
+        expr = parse(text)
+        assert parse(format_expr(expr)) == expr
+
+    def test_format_union_round_trip(self):
+        from repro.core.vrql import format_expr
+
+        expr = parse("UNION(SCAN(a), SCAN(b) >> SELECT(phi=pi/4:pi/2))")
+        assert parse(format_expr(expr)) == expr
+
+    def test_format_prefers_pi_fractions(self):
+        from repro.core.vrql import format_expr
+
+        text = format_expr(parse("SCAN(v) >> SELECT(theta=pi/2:3*pi/2)"))
+        assert "pi/2" in text and "3*pi/2" in text
+
+    def test_format_unregistered_udf_uses_name(self):
+        from repro.core.query import Map
+        from repro.core.vrql import format_expr
+
+        def custom(frame):
+            return frame
+
+        text = format_expr(Map(Scan("v"), fn=custom))
+        assert "MAP(custom)" in text
+
+
+class TestPartitionDiscretizeSyntax:
+    def test_parse_partition(self):
+        from repro.core.query import Partition
+
+        expr = parse("SCAN(v) >> PARTITION(2)")
+        assert isinstance(expr, Partition)
+        assert expr.seconds == 2.0
+
+    def test_parse_discretize(self):
+        from repro.core.query import Discretize
+
+        expr = parse("SCAN(v) >> DISCRETIZE(15)")
+        assert isinstance(expr, Discretize)
+        assert expr.fps == 15.0
+
+    def test_partition_round_trip(self):
+        from repro.core.vrql import format_expr
+
+        expr = parse("SCAN(v) >> PARTITION(2) >> DISCRETIZE(5) >> STORE(out)")
+        assert parse(format_expr(expr)) == expr
+
+    def test_partition_requires_number(self):
+        with pytest.raises(QueryError):
+            parse("SCAN(v) >> PARTITION(fast)")

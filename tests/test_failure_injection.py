@@ -1,0 +1,163 @@
+"""Failure injection: corrupted files, truncated inputs, hostile bytes.
+
+A storage system's error paths are part of its contract: a damaged
+segment must surface as a database error (never a wrong image or an
+unrelated crash), and the container parsers must reject arbitrary bytes
+with controlled exceptions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IngestConfig, Quality, TileGrid
+from repro.core.errors import CatalogError, SegmentNotFoundError
+from repro.video.frame import Frame
+from repro.video.gop import GopCodec, decode_any_gop, gop_byte_length
+from repro.video.mp4 import parse_atoms
+from repro.video.tiles import TiledGop
+from repro.workloads.videos import checkerboard_video, synthetic_video
+
+CONFIG = IngestConfig(
+    grid=TileGrid(2, 2),
+    qualities=(Quality.HIGH,),
+    gop_frames=4,
+    fps=4.0,
+)
+
+
+@pytest.fixture()
+def loaded(db):
+    frames = synthetic_video("venice", width=64, height=32, fps=4, duration=2, seed=31)
+    db.ingest("clip", frames, CONFIG)
+    return db
+
+
+def segment_path(db, gop=0, tile=(0, 0)):
+    meta = db.meta("clip")
+    entry = meta.entries[(gop, tile, Quality.HIGH)]
+    return db.storage.catalog.segment_path(
+        "clip", gop, tile, Quality.HIGH, entry.file_version
+    )
+
+
+class TestDamagedSegments:
+    def test_truncated_segment_detected_by_size_check(self, loaded):
+        path = segment_path(loaded)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(SegmentNotFoundError, match="index says"):
+            loaded.storage.read_segment("clip", 0, (0, 0), Quality.HIGH)
+
+    def test_deleted_segment_file(self, loaded):
+        segment_path(loaded).unlink()
+        with pytest.raises(FileNotFoundError):
+            loaded.storage.read_segment("clip", 0, (0, 0), Quality.HIGH)
+
+    def test_bitflip_in_payload_fails_decode_controlled(self, loaded):
+        path = segment_path(loaded)
+        data = bytearray(path.read_bytes())
+        data[8] ^= 0xFF  # inside the GOP header region
+        path.write_bytes(bytes(data))
+        payload = loaded.storage.read_segment("clip", 0, (0, 0), Quality.HIGH)
+        with pytest.raises(ValueError):
+            decode_any_gop(payload)
+
+    def test_cache_does_not_mask_corruption_before_first_read(self, loaded):
+        # Corrupt before any read: the size check fires on the cold path.
+        path = segment_path(loaded)
+        path.write_bytes(b"")
+        with pytest.raises(SegmentNotFoundError):
+            loaded.storage.read_segment("clip", 0, (0, 0), Quality.HIGH)
+
+
+class TestDamagedMetadata:
+    def test_truncated_metadata_rejected(self, loaded):
+        path = loaded.storage.catalog.metadata_path("clip", 1)
+        path.write_bytes(path.read_bytes()[:20])
+        loaded.storage._meta_cache.clear()
+        with pytest.raises((CatalogError, ValueError)):
+            loaded.meta("clip")
+
+    def test_garbage_metadata_rejected(self, loaded):
+        path = loaded.storage.catalog.metadata_path("clip", 1)
+        path.write_bytes(b"\xde\xad\xbe\xef" * 64)
+        loaded.storage._meta_cache.clear()
+        with pytest.raises((CatalogError, ValueError)):
+            loaded.meta("clip")
+
+    def test_metadata_without_vcld_atoms_rejected(self, loaded):
+        from repro.video.mp4 import Atom, Mp4File
+
+        path = loaded.storage.catalog.metadata_path("clip", 1)
+        path.write_bytes(Mp4File(atoms=[Atom("moov", children=[])]).serialize())
+        loaded.storage._meta_cache.clear()
+        with pytest.raises(CatalogError, match="missing VisualCloud atoms"):
+            loaded.meta("clip")
+
+
+class TestHostileBytes:
+    """Parsers must fail with ValueError/EOFError on arbitrary input —
+    never index errors, struct errors, or silent nonsense."""
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_gop_decoder_contains_failures(self, data):
+        try:
+            frames = decode_any_gop(data)
+        except (ValueError, EOFError):
+            return
+        # If it "decoded", the framing must at least have been coherent.
+        assert isinstance(frames, list)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_gop_length_parser_contains_failures(self, data):
+        try:
+            length = gop_byte_length(data)
+        except (ValueError, EOFError):
+            return
+        assert 0 < length <= len(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_tiled_gop_parser_contains_failures(self, data):
+        try:
+            TiledGop.from_bytes(data)
+        except (ValueError, EOFError):
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_atom_parser_contains_failures(self, data):
+        try:
+            atoms = parse_atoms(data)
+        except (ValueError, UnicodeDecodeError):
+            return
+        assert isinstance(atoms, list)
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_frame_decoder_contains_failures(self, data):
+        from repro.video.codec import FrameCodec
+
+        codec = FrameCodec(Quality.HIGH)
+        try:
+            frame = codec.decode_frame(data, 16, 16, None)
+        except (ValueError, EOFError):
+            return
+        assert isinstance(frame, Frame)
+
+    def test_valid_gop_with_flipped_payload_bits_never_crashes_uncontrolled(self):
+        frames = checkerboard_video(32, 32, frames=3)
+        data = bytearray(GopCodec(Quality.LOW).encode_gop(frames))
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            corrupted = bytearray(data)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try:
+                decode_any_gop(bytes(corrupted))
+            except (ValueError, EOFError):
+                pass  # a controlled failure is a pass

@@ -1,0 +1,144 @@
+"""Unit tests for equirectangular and cubemap projections."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import TWO_PI, AngularRect
+from repro.geometry.projection import CubemapProjection, EquirectangularProjection
+
+
+@pytest.fixture()
+def projection() -> EquirectangularProjection:
+    return EquirectangularProjection(width=64, height=32)
+
+
+class TestEquirectangularMapping:
+    def test_rejects_degenerate_raster(self):
+        with pytest.raises(ValueError):
+            EquirectangularProjection(1, 32)
+
+    def test_pixel_centers_round_trip(self, projection):
+        xs, ys = np.meshgrid(np.arange(64), np.arange(32))
+        theta, phi = projection.pixel_to_angle(xs, ys)
+        x_back, y_back = projection.angle_to_pixel(theta, phi)
+        assert np.allclose(x_back, xs)
+        assert np.allclose(y_back, ys)
+
+    def test_first_column_near_theta_zero(self, projection):
+        theta, _ = projection.pixel_to_angle(0, 0)
+        assert theta == pytest.approx(math.pi / 64)  # half-pixel offset
+
+    def test_rows_span_phi(self, projection):
+        _, phi_top = projection.pixel_to_angle(0, 0)
+        _, phi_bottom = projection.pixel_to_angle(0, 31)
+        assert 0 < phi_top < phi_bottom < math.pi
+
+    def test_theta_wraps(self, projection):
+        x, _ = projection.angle_to_pixel(TWO_PI + 0.1, 1.0)
+        x_ref, _ = projection.angle_to_pixel(0.1, 1.0)
+        assert x == pytest.approx(x_ref)
+
+
+class TestEquirectangularSampling:
+    def test_sample_constant_plane(self, projection):
+        plane = np.full((32, 64), 7.0)
+        assert projection.sample(plane, 1.0, 1.0) == pytest.approx(7.0)
+
+    def test_sample_matches_pixel_at_center(self, projection):
+        plane = np.arange(32 * 64, dtype=np.float64).reshape(32, 64)
+        theta, phi = projection.pixel_to_angle(10, 20)
+        assert projection.sample(plane, theta, phi) == pytest.approx(plane[20, 10])
+
+    def test_sample_interpolates_across_seam(self, projection):
+        plane = np.zeros((32, 64))
+        plane[:, 0] = 10.0
+        plane[:, -1] = 30.0
+        # Exactly on the seam between the last and first column.
+        value = projection.sample(plane, 0.0, math.pi / 2)
+        assert 10.0 < value < 30.0
+
+    def test_sample_shape_mismatch_raises(self, projection):
+        with pytest.raises(ValueError):
+            projection.sample(np.zeros((16, 16)), 0.0, 1.0)
+
+    def test_sample_vectorised(self, projection):
+        plane = np.random.default_rng(0).uniform(0, 255, (32, 64))
+        thetas = np.linspace(0.1, 6.0, 17)
+        phis = np.linspace(0.1, 3.0, 17)
+        values = projection.sample(plane, thetas, phis)
+        assert values.shape == (17,)
+
+
+class TestPixelRect:
+    def test_full_sphere(self, projection):
+        rect = AngularRect(0.0, TWO_PI, 0.0, math.pi)
+        assert projection.pixel_rect(rect) == (0, 0, 64, 32)
+
+    def test_quarter(self, projection):
+        rect = AngularRect(0.0, math.pi / 2, 0.0, math.pi / 2)
+        assert projection.pixel_rect(rect) == (0, 0, 16, 16)
+
+    def test_wrapping_rect_rejected(self, projection):
+        rect = AngularRect(3 * math.pi / 2, math.pi / 2, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            projection.pixel_rect(rect)
+
+    def test_grid_tiles_tile_the_raster(self, projection):
+        from repro.geometry.grid import TileGrid
+
+        grid = TileGrid(2, 4)
+        covered = np.zeros((32, 64), dtype=int)
+        for tile in grid.tiles():
+            x0, y0, x1, y1 = projection.pixel_rect(grid.rect(*tile))
+            covered[y0:y1, x0:x1] += 1
+        assert np.all(covered == 1)
+
+
+class TestSamplingDensity:
+    def test_equator_is_minimum(self, projection):
+        density = projection.sampling_density()
+        assert np.argmin(density) in (15, 16)
+
+    def test_poles_oversampled(self, projection):
+        density = projection.sampling_density()
+        assert density[0] > 10 * density[16]
+
+
+class TestCubemap:
+    def test_rejects_tiny_face(self):
+        with pytest.raises(ValueError):
+            CubemapProjection(1)
+
+    def test_face_directions_are_unit(self):
+        cubemap = CubemapProjection(8)
+        for face in range(6):
+            directions = cubemap.face_directions(face)
+            assert np.allclose(np.linalg.norm(directions, axis=-1), 1.0)
+
+    def test_face_index_bounds(self):
+        with pytest.raises(IndexError):
+            CubemapProjection(8).face_directions(6)
+
+    def test_constant_plane_round_trip(self):
+        cubemap = CubemapProjection(8)
+        plane = np.full((32, 64), 42.0)
+        faces = cubemap.from_equirectangular(plane)
+        assert faces.shape == (6, 8, 8)
+        assert np.allclose(faces, 42.0)
+        assert cubemap.sample(faces, 1.0, 1.0) == pytest.approx(42.0)
+
+    def test_smooth_field_round_trip_error_is_small(self):
+        cubemap = CubemapProjection(32)
+        projection = EquirectangularProjection(128, 64)
+        xs, ys = np.meshgrid(np.arange(128), np.arange(64))
+        theta, phi = projection.pixel_to_angle(xs, ys)
+        plane = 100 + 50 * np.sin(theta) * np.sin(phi)
+        faces = cubemap.from_equirectangular(plane)
+        # Sample the cubemap back at equirect pixel directions (away from poles).
+        sampled = cubemap.sample(faces, theta[16:48], phi[16:48])
+        assert np.max(np.abs(sampled - plane[16:48])) < 4.0
+
+    def test_six_face_names(self):
+        assert len(CubemapProjection(4).face_names) == 6

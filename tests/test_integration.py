@@ -1,0 +1,197 @@
+"""End-to-end integration tests: the demo's full flow on one database.
+
+These are slower than the unit suite and cross every component boundary:
+procedural content -> ingest -> predictor training -> adaptive sessions
+-> query pipelines -> export — asserting cross-component invariants that
+unit tests cannot see.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    ConstantBandwidth,
+    IngestConfig,
+    NaiveFullQuality,
+    PredictiveTilingPolicy,
+    Quality,
+    Scan,
+    SessionConfig,
+    TileGrid,
+    UniformAdaptive,
+    VisualCloud,
+)
+from repro.core import udfs
+from repro.core.export import decode_export, export_video
+from repro.stream.estimator import HarmonicMeanEstimator
+from repro.video.frame import psnr
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import synthetic_video
+
+WIDTH, HEIGHT = 128, 64
+FPS = 8.0
+DURATION = 4.0
+
+
+@pytest.fixture(scope="module")
+def demo_db(tmp_path_factory) -> VisualCloud:
+    db = VisualCloud(tmp_path_factory.mktemp("demo"))
+    config = IngestConfig(
+        grid=TileGrid(2, 4),
+        qualities=(Quality.HIGH, Quality.LOW, Quality.THUMBNAIL),
+        gop_frames=8,
+        fps=FPS,
+    )
+    frames = synthetic_video(
+        "venice", width=WIDTH, height=HEIGHT, fps=FPS, duration=DURATION, seed=77
+    )
+    db.ingest("demo", frames, config)
+    population = ViewerPopulation(seed=13)
+    db.train_predictor(
+        "demo", [population.trace(user, DURATION, rate=10.0) for user in range(4)]
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def viewer():
+    return ViewerPopulation(seed=13).trace(9, DURATION, rate=10.0)
+
+
+class TestFullDeliveryFlow:
+    def test_predictive_beats_naive_on_bytes_and_ties_on_viewport(self, demo_db, viewer):
+        """The demo's two-sided claim, end to end on one database."""
+        manifest = demo_db.storage.build_manifest("demo")
+        rate = sum(
+            manifest.full_sphere_size(w, Quality.HIGH)
+            for w in range(manifest.window_count)
+        ) / manifest.duration
+        naive = demo_db.serve(
+            "demo",
+            viewer,
+            SessionConfig(
+                policy=NaiveFullQuality(),
+                bandwidth=ConstantBandwidth(rate),
+                evaluate_quality=True,
+            ),
+        )
+        predictive = demo_db.serve(
+            "demo",
+            viewer,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(rate),
+                predictor="static",
+                # On this coarse 2x4 grid a margin ring covers the whole
+                # sphere; the viewport footprint alone is the hedge.
+                margin=0,
+                evaluate_quality=True,
+            ),
+        )
+        assert predictive.bytes_saved_vs(naive) > 0.15
+        assert predictive.mean_viewport_psnr > 40
+        assert predictive.stall_time == 0.0
+
+    def test_all_policies_and_predictors_compose(self, demo_db, viewer):
+        policies = [NaiveFullQuality(), UniformAdaptive(), PredictiveTilingPolicy()]
+        predictors = ["static", "deadreckoning", "linear", "markov", "oracle"]
+        for policy in policies:
+            for predictor in predictors:
+                report = demo_db.serve(
+                    "demo",
+                    viewer,
+                    SessionConfig(
+                        policy=policy,
+                        bandwidth=ConstantBandwidth(30_000),
+                        predictor=predictor,
+                        estimator=HarmonicMeanEstimator(),
+                    ),
+                )
+                assert len(report.records) == 4
+
+    def test_delivered_bytes_decode_to_valid_frames(self, demo_db, viewer):
+        """The bytes the streamer accounts for must decode to the frames
+        the client renders — delivery is not a size model."""
+        manifest = demo_db.storage.build_manifest("demo")
+        report = demo_db.serve(
+            "demo",
+            viewer,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(30_000),
+                predictor="static",
+            ),
+        )
+        for record in report.records[:2]:
+            window = demo_db.storage.read_window("demo", record.window, record.quality_map)
+            assert window.byte_size == record.bytes_sent
+            frames = window.decode()
+            assert len(frames) == 8
+            assert frames[0].width == WIDTH
+
+
+class TestQueryOverServedVideo:
+    def test_query_result_is_itself_servable(self, demo_db):
+        """A stored full-ladder re-encode round-trips into a servable video."""
+        for quality in (Quality.HIGH, Quality.LOW):
+            demo_db.execute(
+                Scan("demo", quality=quality).store("requant")
+            )
+        meta = demo_db.meta("requant")
+        assert meta.version == 2  # two stores, two versions
+        # The second version holds the LOW windows; serve it raw.
+        trace = ViewerPopulation(seed=1).trace(0, DURATION, rate=10.0)
+        manifest = demo_db.storage.build_manifest("requant")
+        report = demo_db.serve(
+            "requant",
+            trace,
+            SessionConfig(
+                policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+            ),
+        )
+        assert len(report.records) == manifest.window_count
+
+    def test_map_store_export_decode_chain(self, demo_db, tmp_path):
+        demo_db.execute(Scan("demo").map(udfs.invert).store("negative"))
+        target = tmp_path / "negative.mp4"
+        export_video(demo_db.storage, "negative", target)
+        frames = decode_export(target)
+        original = demo_db.storage.decode_window("demo", 0, Quality.HIGH)
+        # Inverted content decoded from the export matches the inverted
+        # original up to one re-encode generation.
+        inverted = udfs.invert(original[0])
+        assert psnr(inverted, frames[0]) > 28
+
+
+class TestConcurrentViewStability:
+    def test_sessions_do_not_interfere(self, demo_db):
+        """Serving other viewers must not change what one viewer gets."""
+        population = ViewerPopulation(seed=99)
+        target_trace = population.trace(0, DURATION, rate=10.0)
+
+        def run_target():
+            return demo_db.serve(
+                "demo",
+                target_trace,
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(25_000),
+                    predictor="static",
+                ),
+            )
+
+        before = run_target()
+        for user in range(1, 4):
+            demo_db.serve(
+                "demo",
+                population.trace(user, DURATION, rate=10.0),
+                SessionConfig(
+                    policy=UniformAdaptive(), bandwidth=ConstantBandwidth(9_000)
+                ),
+            )
+        after = run_target()
+        assert before.total_bytes == after.total_bytes
+        assert [r.quality_map for r in before.records] == [
+            r.quality_map for r in after.records
+        ]

@@ -1,0 +1,193 @@
+"""Unit tests for DASH-style manifests."""
+
+import pytest
+
+from repro.geometry.grid import TileGrid
+from repro.stream.dash import Manifest, SegmentKey
+from repro.video.quality import Quality
+
+
+def make_manifest(windows=3, grid=TileGrid(2, 2), qualities=(Quality.HIGH, Quality.LOW)):
+    sizes = {}
+    for window in range(windows):
+        for tile in grid.tiles():
+            for quality in qualities:
+                base = 1000 if quality is Quality.HIGH else 200
+                sizes[SegmentKey(window, tile, quality)] = base + window
+    return Manifest(
+        video="demo",
+        width=64,
+        height=32,
+        fps=30.0,
+        window_duration=1.0,
+        window_count=windows,
+        grid=grid,
+        qualities=qualities,
+        segment_sizes=sizes,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            Manifest(
+                video="x",
+                width=64,
+                height=32,
+                fps=30,
+                window_duration=0.0,
+                window_count=1,
+                grid=TileGrid(1, 1),
+                qualities=(Quality.HIGH,),
+            )
+
+    def test_rejects_zero_windows(self):
+        with pytest.raises(ValueError):
+            Manifest(
+                video="x",
+                width=64,
+                height=32,
+                fps=30,
+                window_duration=1.0,
+                window_count=0,
+                grid=TileGrid(1, 1),
+                qualities=(Quality.HIGH,),
+            )
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError):
+            Manifest(
+                video="x",
+                width=64,
+                height=32,
+                fps=30,
+                window_duration=1.0,
+                window_count=1,
+                grid=TileGrid(1, 1),
+                qualities=(),
+            )
+
+    def test_rejects_misordered_ladder(self):
+        with pytest.raises(ValueError):
+            Manifest(
+                video="x",
+                width=64,
+                height=32,
+                fps=30,
+                window_duration=1.0,
+                window_count=1,
+                grid=TileGrid(1, 1),
+                qualities=(Quality.LOW, Quality.HIGH),
+            )
+
+
+class TestLookups:
+    def test_best_and_worst(self):
+        manifest = make_manifest()
+        assert manifest.best_quality is Quality.HIGH
+        assert manifest.worst_quality is Quality.LOW
+
+    def test_duration(self):
+        assert make_manifest(windows=5).duration == pytest.approx(5.0)
+
+    def test_size_of(self):
+        manifest = make_manifest()
+        assert manifest.size_of(1, (0, 0), Quality.HIGH) == 1001
+
+    def test_size_of_missing(self):
+        manifest = make_manifest()
+        with pytest.raises(KeyError):
+            manifest.size_of(9, (0, 0), Quality.HIGH)
+
+    def test_window_size_mixed(self):
+        manifest = make_manifest()
+        quality_map = {tile: Quality.LOW for tile in manifest.grid.tiles()}
+        quality_map[(0, 0)] = Quality.HIGH
+        assert manifest.window_size(0, quality_map) == 1000 + 3 * 200
+
+    def test_full_sphere_size(self):
+        manifest = make_manifest()
+        assert manifest.full_sphere_size(0, Quality.HIGH) == 4000
+
+    def test_window_of_time(self):
+        manifest = make_manifest(windows=3)
+        assert manifest.window_of_time(0.0) == 0
+        assert manifest.window_of_time(1.5) == 1
+        assert manifest.window_of_time(99.0) == 2  # clamped to last
+
+    def test_window_of_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_manifest().window_of_time(-0.1)
+
+    def test_window_interval(self):
+        assert make_manifest().window_interval(1) == (1.0, 2.0)
+
+    def test_window_interval_bounds(self):
+        with pytest.raises(IndexError):
+            make_manifest(windows=2).window_interval(2)
+
+
+class TestResolution:
+    def make_partial(self):
+        """A manifest where tile (0,0) has the full ladder but (0,1) only LOW."""
+        grid = TileGrid(1, 2)
+        sizes = {}
+        for window in range(2):
+            for quality in (Quality.HIGH, Quality.LOW):
+                sizes[SegmentKey(window, (0, 0), quality)] = 100 if quality is Quality.HIGH else 20
+            sizes[SegmentKey(window, (0, 1), Quality.LOW)] = 20
+        return Manifest(
+            video="partial",
+            width=64,
+            height=32,
+            fps=30.0,
+            window_duration=1.0,
+            window_count=2,
+            grid=grid,
+            qualities=(Quality.HIGH, Quality.LOW),
+            segment_sizes=sizes,
+        )
+
+    def test_available_best_first(self):
+        manifest = self.make_partial()
+        assert manifest.available(0, (0, 0)) == (Quality.HIGH, Quality.LOW)
+        assert manifest.available(0, (0, 1)) == (Quality.LOW,)
+
+    def test_available_missing_position(self):
+        manifest = self.make_partial()
+        with pytest.raises(KeyError):
+            manifest.available(0, (9, 9))
+
+    def test_resolve_exact(self):
+        manifest = self.make_partial()
+        assert manifest.resolve(0, (0, 0), Quality.HIGH) is Quality.HIGH
+
+    def test_resolve_degrades(self):
+        manifest = self.make_partial()
+        assert manifest.resolve(0, (0, 1), Quality.HIGH) is Quality.LOW
+
+    def test_resolve_never_upgrades_silently_unless_forced(self):
+        # Requesting below everything stored returns the worst stored.
+        grid = TileGrid(1, 1)
+        sizes = {SegmentKey(0, (0, 0), Quality.HIGH): 100}
+        manifest = Manifest(
+            video="x",
+            width=32,
+            height=32,
+            fps=30.0,
+            window_duration=1.0,
+            window_count=1,
+            grid=grid,
+            qualities=(Quality.HIGH,),
+            segment_sizes=sizes,
+        )
+        assert manifest.resolve(0, (0, 0), Quality.LOWEST) is Quality.HIGH
+
+    def test_window_size_uses_resolved(self):
+        manifest = self.make_partial()
+        quality_map = {(0, 0): Quality.HIGH, (0, 1): Quality.HIGH}
+        assert manifest.window_size(0, quality_map) == 120  # 100 + resolved 20
+
+    def test_full_sphere_size_on_partial(self):
+        manifest = self.make_partial()
+        assert manifest.full_sphere_size(0, Quality.HIGH) == 120

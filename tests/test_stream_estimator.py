@@ -1,0 +1,127 @@
+"""Unit tests for client-side throughput estimators."""
+
+import pytest
+
+from repro.stream.estimator import (
+    EwmaEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+)
+
+
+class TestHarmonicMean:
+    def test_no_estimate_before_observation(self):
+        assert HarmonicMeanEstimator().estimate() is None
+
+    def test_single_sample(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(1000, 2.0)
+        assert estimator.estimate() == pytest.approx(500.0)
+
+    def test_harmonic_mean_of_two(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(1000, 1.0)  # 1000 B/s
+        estimator.observe(1000, 4.0)  # 250 B/s
+        assert estimator.estimate() == pytest.approx(400.0)  # harmonic mean
+
+    def test_window_slides(self):
+        estimator = HarmonicMeanEstimator(window=2)
+        estimator.observe(100, 1.0)
+        estimator.observe(200, 1.0)
+        estimator.observe(300, 1.0)  # pushes the 100 out
+        assert estimator.estimate() == pytest.approx(240.0)
+
+    def test_slow_transfer_drags_estimate_down(self):
+        estimator = HarmonicMeanEstimator()
+        for _ in range(4):
+            estimator.observe(1000, 1.0)
+        estimator.observe(1000, 100.0)  # one near-stall
+        assert estimator.estimate() < 50.0
+
+    def test_ignores_degenerate_samples(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(0, 1.0)
+        estimator.observe(100, 0.0)
+        assert estimator.estimate() is None
+
+    def test_reset(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(100, 1.0)
+        estimator.reset()
+        assert estimator.estimate() is None
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(window=0)
+
+
+class TestEwma:
+    def test_first_sample_is_estimate(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        estimator.observe(100, 1.0)
+        assert estimator.estimate() == pytest.approx(100.0)
+
+    def test_blends(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        estimator.observe(100, 1.0)
+        estimator.observe(200, 1.0)
+        assert estimator.estimate() == pytest.approx(150.0)
+
+    def test_small_alpha_smooths(self):
+        smooth = EwmaEstimator(alpha=0.1)
+        jumpy = EwmaEstimator(alpha=0.9)
+        for estimator in (smooth, jumpy):
+            estimator.observe(100, 1.0)
+            estimator.observe(1000, 1.0)
+        assert smooth.estimate() < jumpy.estimate()
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+    def test_reset(self):
+        estimator = EwmaEstimator()
+        estimator.observe(100, 1.0)
+        estimator.reset()
+        assert estimator.estimate() is None
+
+
+class TestLastSample:
+    def test_tracks_latest(self):
+        estimator = LastSampleEstimator()
+        estimator.observe(100, 1.0)
+        estimator.observe(500, 1.0)
+        assert estimator.estimate() == pytest.approx(500.0)
+
+
+class TestStreamerIntegration:
+    def test_estimated_session_completes(self, session_db):
+        from repro import ConstantBandwidth, PredictiveTilingPolicy, SessionConfig
+        from repro.workloads.users import ViewerPopulation
+
+        trace = ViewerPopulation(seed=4).trace(0, duration=3.0, rate=10.0)
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(50_000),
+            predictor="static",
+            estimator=HarmonicMeanEstimator(),
+        )
+        report = session_db.serve("clip", trace, config)
+        assert len(report.records) == 3
+
+    def test_estimator_converges_on_constant_link(self, session_db):
+        from repro import ConstantBandwidth, PredictiveTilingPolicy, SessionConfig
+        from repro.workloads.users import ViewerPopulation
+
+        estimator = HarmonicMeanEstimator()
+        trace = ViewerPopulation(seed=4).trace(0, duration=3.0, rate=10.0)
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(10_000),
+            predictor="static",
+            estimator=estimator,
+        )
+        session_db.serve("clip", trace, config)
+        assert estimator.estimate() == pytest.approx(10_000, rel=0.01)

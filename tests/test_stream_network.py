@@ -1,0 +1,133 @@
+"""Unit tests for simulated network links."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stream.network import (
+    ConstantBandwidth,
+    SimulatedLink,
+    SteppedBandwidth,
+    TraceBandwidth,
+)
+
+
+class TestConstantBandwidth:
+    def test_rate(self):
+        model = ConstantBandwidth(1000.0)
+        assert model.rate_at(0.0) == 1000.0
+        assert model.rate_at(99.0) == 1000.0
+
+    def test_never_changes(self):
+        assert ConstantBandwidth(10.0).next_change(5.0) == math.inf
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0.0)
+
+
+class TestSteppedBandwidth:
+    def make(self) -> SteppedBandwidth:
+        return SteppedBandwidth(steps=((0.0, 100.0), (10.0, 50.0), (20.0, 200.0)))
+
+    def test_rate_per_interval(self):
+        model = self.make()
+        assert model.rate_at(5.0) == 100.0
+        assert model.rate_at(10.0) == 50.0
+        assert model.rate_at(25.0) == 200.0
+
+    def test_next_change(self):
+        model = self.make()
+        assert model.next_change(5.0) == 10.0
+        assert model.next_change(15.0) == 20.0
+        assert model.next_change(30.0) == math.inf
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth(steps=((5.0, 1.0), (0.0, 2.0)))
+
+    def test_requires_coverage_of_zero(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth(steps=((1.0, 1.0),))
+
+    def test_requires_positive_rates(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth(steps=((0.0, 0.0),))
+
+    def test_requires_steps(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth(steps=())
+
+
+class TestTraceBandwidth:
+    def test_holds_last_rate(self):
+        model = TraceBandwidth(np.array([0.0, 1.0]), np.array([10.0, 20.0]))
+        assert model.rate_at(0.5) == 10.0
+        assert model.rate_at(100.0) == 20.0
+
+    def test_next_change(self):
+        model = TraceBandwidth(np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert model.next_change(0.5) == 1.0
+        assert model.next_change(2.5) == math.inf
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            TraceBandwidth(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            TraceBandwidth(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            TraceBandwidth(np.array([0.0]), np.array([-1.0]))
+
+    def test_random_walk_reproducible(self):
+        a = TraceBandwidth.random_walk(10.0, 1000.0, seed=3)
+        b = TraceBandwidth.random_walk(10.0, 1000.0, seed=3)
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_random_walk_mean_reverts(self):
+        model = TraceBandwidth.random_walk(300.0, 1000.0, volatility=0.1, seed=1)
+        assert 500.0 < float(np.median(model.rates)) < 2000.0
+
+
+class TestSimulatedLink:
+    def test_constant_rate_transfer_time(self):
+        link = SimulatedLink(ConstantBandwidth(100.0))
+        assert link.transfer(1000, 0.0) == pytest.approx(10.0)
+
+    def test_transfers_queue(self):
+        link = SimulatedLink(ConstantBandwidth(100.0))
+        link.transfer(500, 0.0)  # busy until 5.0
+        completion = link.transfer(100, 1.0)
+        assert completion == pytest.approx(6.0)
+
+    def test_idle_gap_respected(self):
+        link = SimulatedLink(ConstantBandwidth(100.0))
+        link.transfer(100, 0.0)  # done at 1.0
+        assert link.transfer(100, 5.0) == pytest.approx(6.0)
+
+    def test_rate_change_mid_transfer(self):
+        model = SteppedBandwidth(steps=((0.0, 100.0), (5.0, 50.0)))
+        link = SimulatedLink(model)
+        # 5 s at 100 B/s = 500 B, remaining 250 B at 50 B/s = 5 s.
+        assert link.transfer(750, 0.0) == pytest.approx(10.0)
+
+    def test_zero_bytes_instant(self):
+        link = SimulatedLink(ConstantBandwidth(10.0))
+        assert link.transfer(0, 3.0) == pytest.approx(3.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SimulatedLink(ConstantBandwidth(10.0)).transfer(-1, 0.0)
+
+    def test_bytes_accounted(self):
+        link = SimulatedLink(ConstantBandwidth(10.0))
+        link.transfer(30, 0.0)
+        link.transfer(12, 0.0)
+        assert link.bytes_sent == 42
+
+    def test_many_rate_changes(self):
+        steps = tuple((float(i), 10.0 if i % 2 == 0 else 20.0) for i in range(10))
+        link = SimulatedLink(SteppedBandwidth(steps=steps))
+        # 10 B in [0,1) at 10 B/s, 20 B in [1,2) at 20, 10 B in [2,3) at 10.
+        completion = link.transfer(40, 0.0)
+        assert completion == pytest.approx(3.0)

@@ -1,0 +1,118 @@
+"""Unit tests for bit I/O and exp-Golomb codes."""
+
+import pytest
+
+from repro.video.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        assert writer.getvalue() == b"\xab"
+
+    def test_partial_byte_padded(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.getvalue() == bytes([0b1010_0000])
+
+    def test_crosses_byte_boundary(self):
+        writer = BitWriter()
+        writer.write(0b1111, 4)
+        writer.write(0b000011, 6)
+        assert writer.getvalue() == bytes([0b1111_0000, 0b1100_0000])
+
+    def test_rejects_value_too_wide(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(8, 3)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+    def test_len_counts_bits(self):
+        writer = BitWriter()
+        writer.write(1, 5)
+        writer.write(1, 9)
+        assert len(writer) == 14
+
+    def test_zero_bit_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.getvalue() == b""
+
+
+class TestBitReader:
+    def test_reads_back_writes(self):
+        writer = BitWriter()
+        for value, nbits in [(5, 3), (0, 2), (1023, 10), (1, 1)]:
+            writer.write(value, nbits)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 5
+        assert reader.read(2) == 0
+        assert reader.read(10) == 1023
+        assert reader.read(1) == 1
+
+    def test_eof(self):
+        reader = BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(3)
+        assert reader.bits_remaining == 13
+
+    def test_wide_read(self):
+        writer = BitWriter()
+        writer.write(0x1234_5678_9ABC, 48)
+        assert BitReader(writer.getvalue()).read(48) == 0x1234_5678_9ABC
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 8, 63, 64, 255, 100_000])
+    def test_unsigned_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_ue(value)
+        assert BitReader(writer.getvalue()).read_ue() == value
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 17, -17, 4095, -4096])
+    def test_signed_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_se(value)
+        assert BitReader(writer.getvalue()).read_se() == value
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_ue(-1)
+
+    def test_known_codewords(self):
+        # Classic table: 0 -> '1', 1 -> '010', 2 -> '011', 3 -> '00100'.
+        for value, bits in [(0, "1"), (1, "010"), (2, "011"), (3, "00100")]:
+            writer = BitWriter()
+            writer.write_ue(value)
+            assert len(writer) == len(bits)
+            as_int = int(bits, 2)
+            reader = BitReader(writer.getvalue())
+            assert reader.read(len(bits)) == as_int
+
+    def test_small_values_are_short(self):
+        short = BitWriter()
+        short.write_ue(0)
+        long = BitWriter()
+        long.write_ue(1000)
+        assert len(short) < len(long)
+
+    def test_sequence_round_trip(self):
+        values = list(range(0, 40))
+        writer = BitWriter()
+        for value in values:
+            writer.write_ue(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_ue() for _ in values] == values
+
+    def test_malformed_prefix_raises(self):
+        reader = BitReader(b"\x00" * 10)
+        with pytest.raises(ValueError):
+            reader.read_ue()

@@ -1,0 +1,92 @@
+"""Unit tests for block transforms: splitting, DCT, zigzag."""
+
+import numpy as np
+import pytest
+
+from repro.video.blocks import (
+    BLOCK_SIZE,
+    INVERSE_ZIGZAG,
+    ZIGZAG,
+    forward_dct,
+    inverse_dct,
+    merge_blocks,
+    split_blocks,
+    zigzag_scan,
+    zigzag_unscan,
+)
+
+
+class TestSplitMerge:
+    def test_round_trip(self):
+        plane = np.arange(16 * 24).reshape(16, 24).astype(np.float64)
+        blocks = split_blocks(plane)
+        assert blocks.shape == (6, 8, 8)
+        assert np.array_equal(merge_blocks(blocks, 16, 24), plane)
+
+    def test_block_order_is_row_major(self):
+        plane = np.zeros((16, 16))
+        plane[0:8, 8:16] = 1.0  # second block in the first block-row
+        blocks = split_blocks(plane)
+        assert np.all(blocks[1] == 1.0)
+        assert np.all(blocks[0] == 0.0)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            split_blocks(np.zeros((12, 16)))
+
+    def test_merge_validates_shape(self):
+        with pytest.raises(ValueError):
+            merge_blocks(np.zeros((3, 8, 8)), 16, 16)
+
+
+class TestDct:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.uniform(-128, 128, (5, 8, 8))
+        back = inverse_dct(forward_dct(blocks))
+        assert np.allclose(back, blocks, atol=1e-9)
+
+    def test_constant_block_energy_in_dc(self):
+        blocks = np.full((1, 8, 8), 10.0)
+        coefficients = forward_dct(blocks)
+        assert coefficients[0, 0, 0] == pytest.approx(80.0)  # 10 * 8 (orthonormal)
+        assert np.allclose(coefficients[0].flatten()[1:], 0.0, atol=1e-12)
+
+    def test_orthonormal_preserves_energy(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(0, 50, (3, 8, 8))
+        coefficients = forward_dct(blocks)
+        assert np.sum(blocks**2) == pytest.approx(np.sum(coefficients**2))
+
+    def test_high_frequency_content_lands_high(self):
+        x = np.arange(8)
+        checker = np.where((x[None, :] + x[:, None]) % 2 == 0, 100.0, -100.0)
+        coefficients = forward_dct(checker[None])
+        assert abs(coefficients[0, 7, 7]) > abs(coefficients[0, 0, 0])
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+        assert np.array_equal(ZIGZAG[INVERSE_ZIGZAG], np.arange(64))
+
+    def test_starts_at_dc_then_first_diagonal(self):
+        # (0,0), (0,1), (1,0), (2,0), (1,1), (0,2) ... the JPEG order.
+        expected_head = [0, 1, 8, 16, 9, 2]
+        assert ZIGZAG[:6].tolist() == expected_head
+
+    def test_scan_round_trip(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(-50, 50, (4, 8, 8)).astype(np.int32)
+        assert np.array_equal(zigzag_unscan(zigzag_scan(blocks)), blocks)
+
+    def test_low_frequency_coefficients_scan_early(self):
+        blocks = np.zeros((1, 8, 8))
+        blocks[0, 0, 1] = 5.0
+        blocks[0, 7, 7] = 9.0
+        row = zigzag_scan(blocks)[0]
+        assert row[1] == 5.0
+        assert row[63] == 9.0
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 8

@@ -1,0 +1,71 @@
+"""Unit tests for the quality ladder."""
+
+import pytest
+
+from repro.video.quality import QUALITY_LADDER, Quality
+
+
+class TestOrdering:
+    def test_high_is_best(self):
+        assert Quality.HIGH > Quality.MEDIUM > Quality.LOW > Quality.LOWEST
+
+    def test_le_ge(self):
+        assert Quality.LOW <= Quality.LOW
+        assert Quality.LOW <= Quality.MEDIUM
+        assert Quality.HIGH >= Quality.HIGH
+
+    def test_sorted_best_first(self):
+        shuffled = [
+            Quality.LOW,
+            Quality.HIGH,
+            Quality.THUMBNAIL,
+            Quality.LOWEST,
+            Quality.MEDIUM,
+        ]
+        assert sorted(shuffled, reverse=True) == list(QUALITY_LADDER)
+
+    def test_comparison_with_other_types(self):
+        with pytest.raises(TypeError):
+            _ = Quality.HIGH < 3
+
+    def test_effective_coarseness_monotone_in_rank(self):
+        # A downscaled rung's effective quantisation coarseness is its
+        # quantiser scale times the pixel-area reduction.
+        coarseness = [
+            quality.scale * quality.downscale**2 for quality in QUALITY_LADDER
+        ]
+        assert coarseness == sorted(coarseness)
+
+
+class TestRank:
+    def test_rank_values(self):
+        assert Quality.HIGH.rank == 0
+        assert Quality.THUMBNAIL.rank == len(QUALITY_LADDER) - 1
+
+    def test_downscale_factors(self):
+        assert Quality.HIGH.downscale == 1
+        assert Quality.THUMBNAIL.downscale == 2
+
+
+class TestLabels:
+    def test_from_label_round_trip(self):
+        for quality in Quality:
+            assert Quality.from_label(quality.label) is quality
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            Quality.from_label("ultra")
+
+
+class TestLadder:
+    def test_full_ladder(self):
+        assert Quality.ladder(len(QUALITY_LADDER)) == tuple(Quality)
+
+    def test_partial_ladder_keeps_best(self):
+        assert Quality.ladder(2) == (Quality.HIGH, Quality.MEDIUM)
+
+    def test_ladder_size_bounds(self):
+        with pytest.raises(ValueError):
+            Quality.ladder(0)
+        with pytest.raises(ValueError):
+            Quality.ladder(len(QUALITY_LADDER) + 1)

@@ -1,0 +1,77 @@
+"""Unit tests for plane/frame resampling (the resolution-scaled rung)."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import (
+    Frame,
+    downsample_frame,
+    downsample_plane,
+    psnr,
+    upsample_frame,
+    upsample_plane,
+)
+
+
+class TestDownsample:
+    def test_factor_one_is_copy(self):
+        plane = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        out = downsample_plane(plane, 1)
+        assert np.array_equal(out, plane)
+        assert out is not plane
+
+    def test_box_mean(self):
+        plane = np.array([[0, 0, 100, 100], [0, 0, 100, 100]], dtype=np.uint8)
+        out = downsample_plane(plane, 2)
+        assert out.shape == (1, 2)
+        assert out.tolist() == [[0, 100]]
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            downsample_plane(np.zeros((6, 8), dtype=np.uint8), 4)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            downsample_plane(np.zeros((8, 8), dtype=np.uint8), 0)
+
+
+class TestUpsample:
+    def test_factor_one_is_copy(self):
+        plane = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        assert np.array_equal(upsample_plane(plane, 1), plane)
+
+    def test_shape(self):
+        out = upsample_plane(np.zeros((4, 6), dtype=np.uint8), 2)
+        assert out.shape == (8, 12)
+
+    def test_constant_preserved(self):
+        out = upsample_plane(np.full((4, 4), 77, dtype=np.uint8), 2)
+        assert np.all(out == 77)
+
+    def test_bilinear_interpolates_between_values(self):
+        plane = np.array([[0, 100]], dtype=np.uint8)
+        out = upsample_plane(plane, 2)
+        # The two middle columns straddle the edge: strictly between.
+        assert 0 < out[0, 1] < 100
+        assert 0 < out[0, 2] < 100
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            upsample_plane(np.zeros((4, 4), dtype=np.uint8), -1)
+
+
+class TestRoundTrip:
+    def test_smooth_content_survives(self):
+        x = np.linspace(0, 4 * np.pi, 64)
+        y = np.linspace(0, 2 * np.pi, 32)
+        plane = (128 + 80 * np.sin(x)[None, :] * np.cos(y)[:, None]).astype(np.uint8)
+        restored = upsample_plane(downsample_plane(plane, 2), 2)
+        assert psnr(plane, restored) > 30
+
+    def test_frame_round_trip_dimensions(self):
+        frame = Frame.blank(64, 32, luma=90)
+        small = downsample_frame(frame, 2)
+        assert (small.width, small.height) == (32, 16)
+        big = upsample_frame(small, 2)
+        assert (big.width, big.height) == (64, 32)
+        assert np.all(big.y == 90)
