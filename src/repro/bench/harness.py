@@ -15,11 +15,10 @@ def format_bytes(size: float) -> str:
     """Human-readable byte counts (binary prefixes)."""
     if size < 0:
         raise ValueError(f"negative size {size}")
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if size < 1024.0 or unit == "GiB":
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
             return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
         size /= 1024.0
-    raise AssertionError("unreachable")
 
 
 def ratio(numerator: float, denominator: float) -> str:

@@ -51,6 +51,16 @@ def _parse_grid(text: str) -> TileGrid:
         raise argparse.ArgumentTypeError(f"grid must look like 4x8, got {text!r}") from error
 
 
+def _parse_workers(text: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"workers must be an integer, got {text!r}") from error
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
 def _parse_qualities(text: str) -> tuple[Quality, ...]:
     try:
         return tuple(Quality.from_label(label.strip()) for label in text.split(","))
@@ -95,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--qualities", type=_parse_qualities, default=(Quality.HIGH, Quality.LOWEST)
     )
     ingest.add_argument("--gop-frames", type=int, default=10)
+    ingest.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="encode worker processes (default: all cores; 1 = serial)",
+    )
 
     info = commands.add_parser("info", help="show a video's metadata")
     info.add_argument("name")
@@ -166,6 +182,7 @@ def _command_ingest(db: VisualCloud, args) -> None:
         qualities=args.qualities,
         gop_frames=args.gop_frames,
         fps=args.fps,
+        workers=args.workers,
     )
     frames = synthetic_video(
         args.profile,

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Hashable
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
 
 
 @dataclass
@@ -35,6 +35,15 @@ class CacheStats:
         return self.hits / self.requests
 
 
+@dataclass
+class _InflightLoad:
+    """One in-progress loader shared by every session that missed on a key."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    value: bytes | None = None
+    error: BaseException | None = None
+
+
 class LruSegmentCache:
     """A byte-bounded LRU cache for encoded segment payloads.
 
@@ -52,6 +61,7 @@ class LruSegmentCache:
         self._size = 0
         # One storage manager serves many sessions; gets and puts race.
         self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _InflightLoad] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,6 +97,49 @@ class LruSegmentCache:
                 self.stats.evictions += 1
             self._entries[key] = value
             self._size += len(value)
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], bytes]) -> bytes:
+        """The cached payload, loading it via ``loader`` on a miss.
+
+        Single-flight: when many sessions miss on the same key at once, one
+        becomes the leader and runs ``loader`` (outside the cache lock, so
+        distinct keys still load concurrently); the rest block on its result
+        instead of stampeding the same segment file. A loader exception is
+        propagated to the leader and every waiter, and the key is released
+        so a later request can retry.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry
+                self.stats.misses += 1
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InflightLoad()
+                    self._inflight[key] = flight
+                    break  # we are the leader
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.value is not None
+            return flight.value
+        try:
+            value = bytes(loader())
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
+        self.put(key, value)
+        flight.value = value
+        with self._lock:
+            self._inflight.pop(key, None)
+        flight.done.set()
+        return value
 
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry if present (used when a video is dropped)."""

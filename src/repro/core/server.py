@@ -66,19 +66,33 @@ class VisualCloud:
         config: IngestConfig | None = None,
         streaming: bool = False,
         quality_plan: dict | None = None,
+        workers: int | None = None,
     ) -> VideoMeta:
         """Segment, encode at the ladder, index, and commit a video.
 
         ``quality_plan`` optionally restricts materialised rungs per tile
-        (see :mod:`repro.core.popularity`).
+        (see :mod:`repro.core.popularity`).  ``workers`` overrides the
+        encode parallelism of ``config`` for this call only.
         """
         return self.storage.ingest(
-            name, frames, config or IngestConfig(), streaming, quality_plan
+            name, frames, config or IngestConfig(), streaming, quality_plan,
+            workers=workers,
         )
 
-    def append(self, name: str, frames: Iterable[Frame]) -> VideoMeta:
+    def append(
+        self, name: str, frames: Iterable[Frame], workers: int | None = None
+    ) -> VideoMeta:
         """Extend a live video with newly arrived frames."""
-        return self.storage.append(name, frames)
+        return self.storage.append(name, frames, workers=workers)
+
+    def reingest(
+        self,
+        name: str,
+        config: IngestConfig | None = None,
+        workers: int | None = None,
+    ) -> VideoMeta:
+        """Re-encode a stored video into a new version (optionally resegmented)."""
+        return self.storage.reingest(name, config=config, workers=workers)
 
     # -- prediction ---------------------------------------------------------------
 

@@ -14,6 +14,7 @@ snapshot isolation by construction.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,18 +39,26 @@ from repro.video.mp4 import (
     parse_sv3d,
 )
 from repro.video.quality import Quality
-from repro.video.tiles import TiledGop, TiledVideoCodec
+from repro.video.tiles import TiledGop, TiledVideoCodec, make_encode_executor
 
 
 @dataclass(frozen=True)
 class IngestConfig:
-    """How a video is segmented and encoded at ingest time."""
+    """How a video is segmented and encoded at ingest time.
+
+    ``workers`` sizes the encode fan-out: every (GOP, tile, quality)
+    segment is an independent closed GOP, so ingest distributes them
+    across that many processes. ``None`` (the default) resolves to
+    ``os.cpu_count()``; ``workers=1`` is the serial path, byte-identical
+    to any parallel run.
+    """
 
     grid: TileGrid = TileGrid(4, 4)
     qualities: tuple[Quality, ...] = (Quality.HIGH, Quality.LOW)
     gop_frames: int = 30
     fps: float = 30.0
     projection: str = "equirectangular"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.gop_frames < 1:
@@ -60,6 +69,10 @@ class IngestConfig:
             raise ValueError("at least one quality is required")
         if list(self.qualities) != sorted(self.qualities, reverse=True):
             raise ValueError("qualities must be ordered best first")
+        if self.workers is None:
+            object.__setattr__(self, "workers", os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def gop_duration(self) -> float:
@@ -292,6 +305,7 @@ class StorageManager:
         config: IngestConfig,
         streaming: bool = False,
         quality_plan: dict[tuple[int, int], tuple[Quality, ...]] | None = None,
+        workers: int | None = None,
     ) -> VideoMeta:
         """Segment, encode, and commit version 1 of a new video.
 
@@ -299,6 +313,11 @@ class StorageManager:
         per tile (popularity-driven partial storage); unplanned tiles get
         the config's full ladder. Every planned ladder must be a subset of
         the config's qualities.
+
+        ``workers`` overrides ``config.workers`` for this call: the encode
+        of each (GOP, tile, quality) segment fans out across that many
+        processes, sharing one pool for the whole ingest. Output bytes are
+        identical at any worker count.
         """
         if self.catalog.exists(name):
             raise CatalogError(f"video {name!r} already exists; use append or store")
@@ -325,6 +344,7 @@ class StorageManager:
                 base_meta=None,
                 streaming=streaming,
                 quality_plan=quality_plan,
+                workers=workers,
             )
         except Exception:
             self.catalog.drop(name)
@@ -344,6 +364,7 @@ class StorageManager:
         base_meta: VideoMeta | None,
         streaming: bool,
         quality_plan: dict[tuple[int, int], tuple[Quality, ...]] | None = None,
+        workers: int | None = None,
     ) -> VideoMeta:
         codec: TiledVideoCodec | None = None
         if base_meta is None:
@@ -352,40 +373,54 @@ class StorageManager:
         else:
             meta = base_meta
             next_gop = meta.gop_count
+        if workers is None:
+            workers = config.workers or 1
+        # One pool amortised over every GOP of the version; each
+        # (tile, quality) segment is an independent encode job.
+        executor = make_encode_executor(
+            workers, config.grid.tile_count * len(config.qualities)
+        )
         new_entries: dict[tuple[int, tuple[int, int], Quality], SegmentEntry] = {}
         frame_counts: list[int] = []
         width = height = 0
-        for gop_index, batch in enumerate(gop_batches, start=next_gop):
-            if codec is None:
-                width, height = batch[0].width, batch[0].height
-                if base_meta is not None and (width, height) != (
-                    base_meta.width,
-                    base_meta.height,
-                ):
-                    raise IngestError(
-                        f"appended frames are {width}x{height}, video is "
-                        f"{base_meta.width}x{base_meta.height}"
-                    )
-                codec = TiledVideoCodec(config.grid, width, height)
-            for quality in config.qualities:
-                if quality_plan is None:
-                    tiles = None  # the full grid
-                else:
-                    tiles = {
-                        tile
-                        for tile in config.grid.tiles()
-                        if quality in quality_plan.get(tile, config.qualities)
-                    }
-                    if not tiles:
-                        continue
-                tiled = codec.encode_gop(batch, quality, tiles=tiles)
-                for tile, payload in tiled.payloads.items():
-                    path = self.catalog.segment_path(name, gop_index, tile, quality, version)
-                    path.write_bytes(payload)
-                    new_entries[(gop_index, tile, quality)] = SegmentEntry(
-                        len(payload), version
-                    )
-            frame_counts.append(len(batch))
+        try:
+            for gop_index, batch in enumerate(gop_batches, start=next_gop):
+                if codec is None:
+                    width, height = batch[0].width, batch[0].height
+                    if base_meta is not None and (width, height) != (
+                        base_meta.width,
+                        base_meta.height,
+                    ):
+                        raise IngestError(
+                            f"appended frames are {width}x{height}, video is "
+                            f"{base_meta.width}x{base_meta.height}"
+                        )
+                    codec = TiledVideoCodec(config.grid, width, height)
+                for quality in config.qualities:
+                    if quality_plan is None:
+                        tiles = None  # the full grid
+                    else:
+                        tiles = {
+                            tile
+                            for tile in config.grid.tiles()
+                            if quality in quality_plan.get(tile, config.qualities)
+                        }
+                        if not tiles:
+                            continue
+                    # executor=None means the serial path was chosen (or the
+                    # platform refused a pool) — don't let the codec retry
+                    # pool creation per GOP.
+                    tiled = codec.encode_gop(batch, quality, tiles=tiles, executor=executor)
+                    for tile, payload in tiled.payloads.items():
+                        path = self.catalog.segment_path(name, gop_index, tile, quality, version)
+                        path.write_bytes(payload)
+                        new_entries[(gop_index, tile, quality)] = SegmentEntry(
+                            len(payload), version
+                        )
+                frame_counts.append(len(batch))
+        finally:
+            if executor is not None:
+                executor.shutdown()
         if codec is None:
             raise IngestError(f"no frames to write for {name!r}")
 
@@ -422,11 +457,14 @@ class StorageManager:
         self._commit_meta(result)
         return result
 
-    def append(self, name: str, frames: Iterable[Frame]) -> VideoMeta:
+    def append(
+        self, name: str, frames: Iterable[Frame], workers: int | None = None
+    ) -> VideoMeta:
         """Extend a (live) video with more frames, as a new version.
 
         New GOPs are encoded with the video's original segmentation
-        parameters; prior segments are shared, not rewritten.
+        parameters; prior segments are shared, not rewritten. ``workers``
+        parallelises the new GOPs' segment encodes as in :meth:`ingest`.
         """
         base = self.meta(name)
         if base.gop_frame_counts[-1] != base.gop_frames:
@@ -459,6 +497,59 @@ class StorageManager:
             base_meta=base,
             streaming=True,
             quality_plan=quality_plan,
+            workers=workers,
+        )
+
+    def reingest(
+        self,
+        name: str,
+        config: IngestConfig | None = None,
+        workers: int | None = None,
+    ) -> VideoMeta:
+        """Re-encode a stored video's content as a new version.
+
+        Decodes each window at the best quality stored per tile and
+        re-runs the segmentation pipeline — the way to change a video's
+        grid, ladder, or GOP length after the fact. Without ``config`` the
+        original segmentation parameters are reused (a pure re-encode).
+        Old versions keep serving until :meth:`vacuum` reclaims them.
+        ``workers`` parallelises the segment encodes as in :meth:`ingest`.
+        """
+        base = self.meta(name)
+        if config is None:
+            config = IngestConfig(
+                grid=base.grid,
+                qualities=base.qualities,
+                gop_frames=base.gop_frames,
+                fps=base.fps,
+                projection=base.projection,
+            )
+
+        def decoded_frames() -> Iterator[Frame]:
+            for gop in range(base.gop_count):
+                best = {}
+                for tile in base.grid.tiles():
+                    stored = [
+                        quality
+                        for quality in base.qualities
+                        if (gop, tile, quality) in base.entries
+                    ]
+                    if not stored:
+                        raise SegmentNotFoundError(
+                            f"{name!r} cannot be reingested: (gop={gop}, tile={tile}) "
+                            "has no stored quality"
+                        )
+                    best[tile] = stored[0]  # qualities are ordered best first
+                yield from self.read_window(name, gop, best, base.version).decode()
+
+        return self._write_version(
+            name,
+            version=base.version + 1,
+            config=config,
+            gop_batches=_chunk(decoded_frames(), config.gop_frames),
+            base_meta=None,
+            streaming=base.streaming,
+            workers=workers,
         )
 
     def store_windows(
@@ -559,20 +650,22 @@ class StorageManager:
                 f"{name!r} v{meta.version} has no segment (gop={gop}, tile={tile}, "
                 f"quality={quality.label})"
             )
-        cache_key = (name, gop, tile, quality, entry.file_version)
-        if self.segment_cache is not None:
-            cached = self.segment_cache.get(cache_key)
-            if cached is not None:
-                return cached
         path = self.catalog.segment_path(name, gop, tile, quality, entry.file_version)
-        data = path.read_bytes()
-        if len(data) != entry.size:
-            raise SegmentNotFoundError(
-                f"segment {path.name} is {len(data)} bytes, index says {entry.size}"
-            )
-        if self.segment_cache is not None:
-            self.segment_cache.put(cache_key, data)
-        return data
+
+        def load() -> bytes:
+            data = path.read_bytes()
+            if len(data) != entry.size:
+                raise SegmentNotFoundError(
+                    f"segment {path.name} is {len(data)} bytes, index says {entry.size}"
+                )
+            return data
+
+        if self.segment_cache is None:
+            return load()
+        cache_key = (name, gop, tile, quality, entry.file_version)
+        # Single-flight: concurrent sessions missing on the same segment
+        # share one file read instead of stampeding the filesystem.
+        return self.segment_cache.get_or_load(cache_key, load)
 
     def read_window(
         self,

@@ -5,9 +5,54 @@ unsigned and signed exp-Golomb codes used by H.264/HEVC for header and
 residual syntax. Exp-Golomb is a universal code — short for the small
 values that dominate quantised transform coefficients — which is what makes
 the quality ladder actually change the byte count.
+
+Two speeds coexist here. The scalar ``write_ue``/``read_ue`` methods are
+the reference wire format, one symbol at a time. The batched paths —
+:func:`ue_codes`, :meth:`BitWriter.write_symbols`, and
+:meth:`BitReader.scan_ue` — process whole symbol arrays with numpy and are
+bit-identical to the scalar ones by construction; the codec's hot loops
+use them exclusively.
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+#: Largest codeword the vectorised packer emits in one symbol. A ue code
+#: for value v spans 2*bit_length(v+1) - 1 bits; 63 keeps every shift
+#: inside one int64 lane.
+MAX_BATCH_CODE_BITS = 63
+
+
+def ue_codes(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised unsigned exp-Golomb: ``(codewords, bit lengths)``.
+
+    Each value ``v`` maps to the codeword ``v + 1`` emitted in
+    ``2 * bit_length(v + 1) - 1`` bits — exactly what ``write_ue`` does,
+    for a whole array at once. Values must satisfy
+    ``0 <= v < 2**31`` so the codeword fits the packer's 63-bit lane.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return values, values
+    if values.min() < 0:
+        raise ValueError("unsigned exp-Golomb requires values >= 0")
+    if values.max() >= 1 << 31:
+        raise ValueError("batched exp-Golomb supports values below 2**31")
+    coded = values + 1
+    # floor(log2) via float64 is exact here (coded < 2**53), but guard the
+    # power-of-two boundaries against rounding anyway.
+    exponent = np.floor(np.log2(coded.astype(np.float64))).astype(np.int64)
+    exponent += (coded >> (exponent + 1)) > 0
+    exponent -= coded < (np.int64(1) << exponent)
+    return coded, 2 * exponent + 1
+
+
+def se_to_ue(values: np.ndarray) -> np.ndarray:
+    """Vectorised signed-to-unsigned exp-Golomb mapping (``write_se``'s
+    ``0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4`` zigzag)."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values > 0, 2 * values - 1, -2 * values)
 
 
 class BitWriter:
@@ -47,6 +92,71 @@ class BitWriter:
         """Signed exp-Golomb: maps 0, 1, -1, 2, -2, ... to 0, 1, 2, 3, 4."""
         mapped = 2 * value - 1 if value > 0 else -2 * value
         self.write_ue(mapped)
+
+    def write_symbols(
+        self, codes: np.ndarray, nbits: np.ndarray, _trusted: bool = False
+    ) -> None:
+        """Vectorised bulk append: for each i, the low ``nbits[i]`` bits of
+        ``codes[i]``, in order. Byte-identical to the equivalent sequence of
+        :meth:`write` calls, including mid-byte continuation — the pending
+        partial byte is folded in as one more symbol before packing.
+
+        ``_trusted`` skips the range validation for internal callers whose
+        symbols are valid by construction (e.g. :func:`ue_codes` output).
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        nbits = np.ascontiguousarray(nbits, dtype=np.int64)
+        if codes.shape != nbits.shape or codes.ndim != 1:
+            raise ValueError("codes and nbits must be 1-D arrays of equal length")
+        if codes.size == 0:
+            return
+        if not _trusted:
+            if nbits.min() < 1 or nbits.max() > MAX_BATCH_CODE_BITS:
+                raise ValueError(f"symbol widths must be in [1, {MAX_BATCH_CODE_BITS}]")
+            if codes.min() < 0 or np.any(codes >> nbits):
+                raise ValueError("a symbol value does not fit its bit width")
+        if self._nbits:
+            codes = np.concatenate(([self._acc], codes))
+            nbits = np.concatenate(([self._nbits], nbits))
+            self._acc = 0
+            self._nbits = 0
+        # Pack per symbol-byte, not per bit: shift each codeword so it ends
+        # on a byte boundary, slice it into bytes, and scatter-add the
+        # nonzero bytes into the output. Two symbols meeting inside a byte
+        # occupy disjoint bits, so addition is bitwise OR.
+        ends = np.cumsum(nbits)
+        total = int(ends[-1])
+        pad = (-ends) % 8  # zero bits appended to byte-align each symbol's end
+        end_byte = (ends + pad) >> 3
+        values = codes.astype(np.uint64)
+        out_len = (total + 7) // 8
+        span = int((int(nbits.max()) + 14) // 8) + 1  # bytes one symbol can touch
+        chunks_idx = []
+        chunks_val = []
+        for j in range(span):
+            if j == 0:
+                byte = ((values & np.uint64(0xFF)) << pad.astype(np.uint64)) & np.uint64(0xFF)
+            else:
+                # codes < 2**63, so clamping the shift to 63 zeroes any
+                # byte lane beyond the codeword instead of overflowing.
+                shift = np.minimum(8 * j - pad, 63).astype(np.uint64)
+                byte = (values >> shift) & np.uint64(0xFF)
+            live = np.flatnonzero(byte)
+            if live.size:
+                chunks_idx.append(end_byte[live] - 1 - j)
+                chunks_val.append(byte[live])
+        out = np.zeros(out_len, dtype=np.uint8)
+        if chunks_idx:
+            packed = np.bincount(
+                np.concatenate(chunks_idx),
+                weights=np.concatenate(chunks_val).astype(np.float64),
+                minlength=out_len,
+            )
+            out = packed.astype(np.uint8)
+        whole = total // 8
+        self._buffer += out[:whole].tobytes()
+        self._nbits = total - whole * 8
+        self._acc = int(out[whole]) >> (8 - self._nbits) if self._nbits else 0
 
     def getvalue(self) -> bytes:
         """The buffer contents, zero-padded to a whole number of bytes."""
@@ -94,9 +204,15 @@ def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
 class BitReader:
     """Reads bits most-significant-first from a byte buffer."""
 
-    def __init__(self, data: bytes) -> None:
+    #: Why a :meth:`scan_ue` stopped where it did.
+    SCAN_END = "end"  # clean end of buffer (or only padding bits remain)
+    SCAN_EOF = "eof"  # a codeword is cut off by the end of the buffer
+    SCAN_MALFORMED = "malformed"  # a codeword prefix exceeds 63 zeros
+
+    def __init__(self, data: bytes | memoryview) -> None:
         self._data = data
         self._pos = 0  # bit position
+        self._scan_cache: tuple[np.ndarray, np.ndarray, str, int] | None = None
 
     @property
     def bits_remaining(self) -> int:
@@ -145,3 +261,100 @@ class BitReader:
         if mapped % 2:
             return (mapped + 1) // 2
         return -(mapped // 2)
+
+    def seek(self, bit_position: int) -> None:
+        """Move the read cursor to an absolute bit position."""
+        if not 0 <= bit_position <= len(self._data) * 8:
+            raise ValueError(f"bit position {bit_position} outside the buffer")
+        self._pos = bit_position
+
+    def scan_ue(self) -> tuple[np.ndarray, np.ndarray, str]:
+        """Decode every complete unsigned exp-Golomb codeword from the
+        current position to the end of the buffer, without consuming.
+
+        Returns ``(values, ends, stop)``: ``values[i]`` is the i-th decoded
+        value (``uint64``), ``ends[i]`` the absolute bit position just past
+        its codeword, and ``stop`` one of :data:`SCAN_END` /
+        :data:`SCAN_EOF` / :data:`SCAN_MALFORMED` describing why the scan
+        stopped after the last complete codeword. Callers consume a prefix
+        of the scan with :meth:`seek`; the scan is cached, so resuming from
+        any codeword boundary is free.
+
+        The boundary structure of a ue stream is self-delimiting (z zeros,
+        a one, z suffix bits), so all codeword starts can be found without
+        decoding: the successor of a start ``p`` with next set bit at ``o``
+        is ``2*o - p + 1``. That successor map is materialised as a jump
+        table over all bit positions and iterated by repeated doubling —
+        the whole scan is O(bits * log(symbols)) numpy work with no
+        per-bit Python.
+        """
+        cached = self._scan_cache
+        if cached is not None:
+            values, ends, stop, base = cached
+            if self._pos == base:
+                return values, ends, stop
+            after = np.searchsorted(ends, self._pos, side="left")
+            if after < ends.size and ends[after] == self._pos:
+                return values[after + 1 :], ends[after + 1 :], stop
+            # Cursor is not on a cached codeword boundary: rescan below.
+        data = np.frombuffer(self._data, dtype=np.uint8)  # zero-copy for bytes/views
+        bits = np.unpackbits(data)
+        total = bits.size
+        start = self._pos
+        positions = np.arange(total, dtype=np.int64)
+        # next_one[p]: position of the first set bit at or after p (total if
+        # none) — a reverse running minimum over set-bit positions.
+        next_one = np.where(bits, positions, total)
+        np.minimum.accumulate(next_one[::-1], out=next_one[::-1])
+        zeros = next_one - positions  # == total - p when no set bit remains
+        code_end = 2 * next_one - positions + 1
+        sentinel = total + 1  # "no complete codeword starts here"
+        succ = np.where(
+            (next_one < total) & (zeros <= 63) & (code_end <= total), code_end, sentinel
+        )
+        succ = np.concatenate([succ, [sentinel, sentinel]])  # succ[total], succ[sentinel]
+        # Enumerate the orbit start, f(start), f²(start), ... by doubling:
+        # each round appends f^len applied to what we have and squares the
+        # table, so K boundaries cost O(log K) vectorised passes.
+        starts = np.array([start], dtype=np.int64)
+        jump = succ
+        while starts[-1] < total:
+            starts = np.concatenate([starts, jump[starts]])
+            jump = jump[jump]
+        starts = starts[: int(np.argmax(starts >= total))]
+        # Only the final orbit entry can start an *incomplete* codeword
+        # (its successor is the sentinel, so everything after was trimmed).
+        resume = None
+        if starts.size and succ[starts[-1]] == sentinel:
+            resume = int(starts[-1])
+            starts = starts[:-1]
+
+        if starts.size:
+            one_at = next_one[starts]
+            lengths = one_at - starts + 1  # suffix bits including the leading one
+            ends = one_at + lengths  # == 2*one_at - start + 1
+            counts = np.cumsum(lengths) - lengths
+            symbol = np.repeat(np.arange(starts.size), lengths)
+            offset = np.arange(int(lengths.sum())) - counts[symbol]
+            contrib = bits[one_at[symbol] + offset].astype(np.uint64) << (
+                (lengths[symbol] - 1 - offset).astype(np.uint64)
+            )
+            values = np.add.reduceat(contrib, counts) - np.uint64(1)
+            if resume is None:
+                resume = int(ends[-1])
+        else:
+            values = np.empty(0, dtype=np.uint64)
+            ends = np.empty(0, dtype=np.int64)
+            if resume is None:
+                resume = start
+        if resume == total:
+            stop = self.SCAN_END
+        elif zeros[resume] > 63:
+            stop = self.SCAN_MALFORMED
+        else:
+            # Padding-only tails (all zeros to the end) and genuinely
+            # truncated codewords are indistinguishable here; both read as
+            # EOF, exactly as the scalar reader would report them.
+            stop = self.SCAN_EOF
+        self._scan_cache = (values, ends, stop, self._pos)
+        return values, ends, stop

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.video.bitstream import BitReader, BitWriter
+from repro.video.bitstream import BitReader, BitWriter, se_to_ue, ue_codes
 from repro.video.blocks import (
     forward_dct,
     inverse_dct,
@@ -73,6 +73,66 @@ def quant_matrix(base: np.ndarray, scale: float) -> np.ndarray:
     return np.clip(np.round(base * scale), 1.0, 4096.0)
 
 
+def _run_length_symbols(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run/level decomposition of ``(n, 64)`` rows: ``(counts, runs, levels)``.
+
+    ``counts[i]`` is row i's nonzero count; ``runs``/``levels`` hold, in
+    stream order, the zero-run before each nonzero coefficient and its
+    signed value.
+    """
+    flat = np.flatnonzero(rows)
+    block_idx = flat >> 6  # rows are (n, 64): index arithmetic beats 2D nonzero
+    coef_idx = flat & 63
+    counts = np.bincount(block_idx, minlength=rows.shape[0])
+    levels = rows.ravel()[flat].astype(np.int64)
+    if block_idx.size:
+        first = np.empty(block_idx.size, dtype=bool)
+        first[0] = True
+        np.not_equal(block_idx[1:], block_idx[:-1], out=first[1:])
+        runs = np.where(first, coef_idx, np.diff(coef_idx, prepend=0) - 1)
+    else:
+        runs = coef_idx
+    return counts, runs, levels
+
+
+def _rows_to_symbols(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The full exp-Golomb symbol stream for ``rows``: ``(codes, nbits)``.
+
+    Each (run, level) pair is fused into one packed symbol — the run code's
+    bits followed by the level code's bits, exactly the wire sequence — so
+    the packer sees ``blocks + nonzeros`` symbols instead of
+    ``blocks + 2 * nonzeros``. Fusion stays within the packer's 63-bit lane
+    because :func:`_write_rows` bounds levels to ``±2**21`` first
+    (run <= 63 -> 13 bits, |level| < 2**21 -> 43 bits).
+    """
+    counts, runs, levels = _run_length_symbols(rows)
+    blocks = counts.size
+    nonzeros = levels.size
+    # One ue_codes pass over every symbol value (counts, runs, mapped
+    # levels back to back) — the arrays are small enough that per-call
+    # dispatch, not arithmetic, dominates three separate passes.
+    all_codes, all_bits = ue_codes(
+        np.concatenate([counts, runs, se_to_ue(levels)])
+    )
+    count_codes, count_bits = all_codes[:blocks], all_bits[:blocks]
+    codes = np.empty(blocks + nonzeros, dtype=np.int64)
+    nbits = np.empty(blocks + nonzeros, dtype=np.int64)
+    before = np.cumsum(counts) - counts
+    count_pos = np.arange(blocks) + before
+    codes[count_pos] = count_codes
+    nbits[count_pos] = count_bits
+    if nonzeros:
+        run_codes = all_codes[blocks : blocks + nonzeros]
+        run_bits = all_bits[blocks : blocks + nonzeros]
+        level_codes = all_codes[blocks + nonzeros :]
+        level_bits = all_bits[blocks + nonzeros :]
+        block_of = np.repeat(np.arange(blocks), counts)
+        pair_pos = count_pos[block_of] + 1 + (np.arange(nonzeros) - before[block_of])
+        codes[pair_pos] = (run_codes << level_bits) | level_codes
+        nbits[pair_pos] = run_bits + level_bits
+    return codes, nbits
+
+
 def _write_rows(writer: BitWriter, rows: np.ndarray) -> None:
     """Entropy-code ``(n, 64)`` quantised zigzag rows into a bit stream.
 
@@ -82,18 +142,33 @@ def _write_rows(writer: BitWriter, rows: np.ndarray) -> None:
     stream is self-delimiting given the block count, so planes concatenate
     with no length prefixes — the overhead floor that would otherwise
     dominate low-quality segments.
+
+    The whole plane is coded in one vectorised pass
+    (:func:`_rows_to_symbols` + :meth:`BitWriter.write_symbols`),
+    bit-identical to :func:`_write_rows_reference`. Coefficients at or
+    beyond ±2**21 would overflow the packer's fused-pair codeword lane,
+    so that (never produced by the quantiser) range falls back to the
+    reference coder.
     """
-    mask = rows != 0
-    counts = mask.sum(axis=1)
-    block_idx, coef_idx = np.nonzero(mask)
-    levels = rows[block_idx, coef_idx]
-    if block_idx.size:
-        first = np.empty(block_idx.size, dtype=bool)
-        first[0] = True
-        np.not_equal(block_idx[1:], block_idx[:-1], out=first[1:])
-        runs = np.where(first, coef_idx, np.diff(coef_idx, prepend=0) - 1)
-    else:
-        runs = coef_idx
+    if rows.size == 0:
+        return
+    if int(rows.max()) >= _VECTOR_LEVEL_LIMIT or int(rows.min()) <= -_VECTOR_LEVEL_LIMIT:
+        _write_rows_reference(writer, rows)
+        return
+    codes, nbits = _rows_to_symbols(rows)
+    writer.write_symbols(codes, nbits, _trusted=True)
+
+
+_VECTOR_LEVEL_LIMIT = 1 << 21
+
+
+def _write_rows_reference(writer: BitWriter, rows: np.ndarray) -> None:
+    """Scalar reference for :func:`_write_rows` (one symbol per call).
+
+    This is the wire format's executable specification; the golden tests
+    hold the vectorised path bit-identical to it.
+    """
+    counts, runs, levels = _run_length_symbols(rows)
     write_ue = writer.write_ue
     write_se = writer.write_se
     cursor = 0
@@ -107,8 +182,64 @@ def _write_rows(writer: BitWriter, rows: np.ndarray) -> None:
             cursor += 1
 
 
+def _raise_scan_stop(stop: str) -> None:
+    if stop == BitReader.SCAN_MALFORMED:
+        raise ValueError("malformed exp-Golomb code (prefix too long)")
+    raise EOFError("bit stream ends inside a block's coefficient data")
+
+
 def _read_rows(reader: BitReader, block_count: int) -> np.ndarray:
-    """Inverse of :func:`_write_rows`: a bit stream to ``(n, 64)`` rows."""
+    """Inverse of :func:`_write_rows`: a bit stream to ``(n, 64)`` rows.
+
+    Decodes through :meth:`BitReader.scan_ue`: every remaining codeword in
+    the payload is located and decoded in one vectorised pass (cached on
+    the reader, so the planes sharing one stream split the cost), and this
+    function only walks the per-block structure to slice counts from
+    (run, level) pairs.
+    """
+    rows = np.zeros((block_count, 64), dtype=np.int32)
+    if block_count == 0:
+        return rows
+    values, ends, stop = reader.scan_ue()
+    available = values.size
+    count_idx = np.empty(block_count, dtype=np.int64)
+    cursor = 0
+    values_int = values.astype(np.int64, copy=False)
+    for block in range(block_count):
+        if cursor >= available:
+            _raise_scan_stop(stop)
+        count = int(values_int[cursor])
+        if count > 64:
+            raise ValueError(f"corrupt bitstream: block {block} claims {count} coefficients")
+        count_idx[block] = cursor
+        cursor += 1 + 2 * count
+    if cursor > available:
+        _raise_scan_stop(stop)
+    counts = values_int[count_idx]
+    nonzeros = int(counts.sum())
+    if nonzeros:
+        before = np.cumsum(counts) - counts
+        block_of = np.repeat(np.arange(block_count), counts)
+        pair_idx = count_idx[block_of] + 1 + 2 * (np.arange(nonzeros) - before[block_of])
+        runs = values_int[pair_idx]
+        mapped = values[pair_idx + 1]
+        half = (mapped // np.uint64(2)).astype(np.int64)
+        levels = np.where((mapped & np.uint64(1)).astype(bool), half + 1, -half)
+        steps = runs + 1
+        walk = np.cumsum(steps)
+        segment_base = (walk - steps)[np.minimum(before, nonzeros - 1)]
+        positions = walk - np.repeat(segment_base, counts) - 1
+        if int(positions.max()) > 63:
+            raise ValueError(
+                f"corrupt bitstream: coefficient index {int(positions.max())} > 63"
+            )
+        rows[block_of, positions] = levels
+    reader.seek(int(ends[cursor - 1]))
+    return rows
+
+
+def _read_rows_reference(reader: BitReader, block_count: int) -> np.ndarray:
+    """Scalar reference for :func:`_read_rows` (one symbol per call)."""
     rows = np.zeros((block_count, 64), dtype=np.int32)
     read_ue = reader.read_ue
     read_se = reader.read_se
@@ -226,15 +357,22 @@ class FrameCodec:
         frame_type = FRAME_TYPE_INTRA if reference is None else FRAME_TYPE_PREDICTED
         writer = BitWriter()
         reconstructed_planes = []
+        plane_rows = []
         reference_planes = (None, None, None) if reference is None else reference.planes
         for codec, plane, ref_plane in zip(self._plane_codecs(), frame.planes, reference_planes):
             rows, reconstruction = codec.quantise(plane, ref_plane)
-            _write_rows(writer, rows)
+            plane_rows.append(rows)
             reconstructed_planes.append(reconstruction)
+        # The three planes share one continuous bit stream with no framing
+        # between them, so stacking their block rows into a single entropy
+        # call is bit-identical to coding them plane by plane — and lets
+        # the vectorised coder amortise its fixed numpy cost per frame
+        # instead of per plane.
+        _write_rows(writer, np.vstack(plane_rows))
         return struct.pack(">B", frame_type) + writer.getvalue(), Frame(*reconstructed_planes)
 
     def decode_frame(
-        self, data: bytes, width: int, height: int, reference: Frame | None
+        self, data: bytes | memoryview, width: int, height: int, reference: Frame | None
     ) -> Frame:
         """Decode bytes produced by :meth:`encode_frame`."""
         if len(data) < 1:
@@ -246,7 +384,7 @@ class FrameCodec:
             reference = None
         elif frame_type != FRAME_TYPE_PREDICTED:
             raise ValueError(f"unknown frame type {frame_type}")
-        reader = BitReader(data[1:])
+        reader = BitReader(memoryview(data)[1:])  # skip the type byte, no copy
         planes = []
         shapes = [(height, width), (height // 2, width // 2), (height // 2, width // 2)]
         reference_planes = (None, None, None) if reference is None else reference.planes

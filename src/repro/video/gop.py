@@ -77,10 +77,11 @@ class GopCodec:
         coded_width, coded_height = width // factor, height // factor
         frames: list[Frame] = []
         reference = None
+        view = memoryview(data)  # per-frame slices below are zero-copy
         for _ in range(count):
             length, offset = read_uvarint(data, offset)
             frame = self._frame_codec.decode_frame(
-                data[offset : offset + length], coded_width, coded_height, reference
+                view[offset : offset + length], coded_width, coded_height, reference
             )
             offset += length
             reference = frame

@@ -11,6 +11,7 @@ move bytes only and never run the entropy decoder.
 from __future__ import annotations
 
 import struct
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.geometry.grid import TileGrid
@@ -250,6 +251,35 @@ class TiledGop:
         return quality
 
 
+def _encode_tile_job(
+    job: tuple[tuple[int, int], Quality, list[Frame]],
+) -> tuple[tuple[int, int], bytes]:
+    """Encode one tile's sub-frames as a closed GOP.
+
+    Module-level (and taking one picklable tuple) so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can ship it to worker
+    processes; every (tile, quality) segment is an independent closed GOP,
+    so jobs share no state and any execution order yields identical bytes.
+    """
+    tile, quality, sub_frames = job
+    return tile, GopCodec(quality).encode_gop(sub_frames)
+
+
+def make_encode_executor(workers: int, jobs: int) -> ProcessPoolExecutor | None:
+    """A process pool for tile-encode fan-out, or None to run serially.
+
+    Returns None when one worker (or one job) makes a pool pointless, or
+    when the platform refuses to spawn workers (restricted sandboxes) —
+    callers fall back to the byte-identical serial path either way.
+    """
+    if workers <= 1 or jobs <= 1:
+        return None
+    try:
+        return ProcessPoolExecutor(max_workers=min(workers, jobs))
+    except (OSError, NotImplementedError):
+        return None
+
+
 class TiledVideoCodec:
     """Splits GOPs along a tile grid and encodes each tile independently."""
 
@@ -276,21 +306,34 @@ class TiledVideoCodec:
         frames: list[Frame],
         quality: Quality,
         tiles: set[tuple[int, int]] | None = None,
+        workers: int = 1,
+        executor: Executor | None = None,
     ) -> TiledGop:
         """Encode one GOP at a single quality, optionally only some tiles."""
         quality_map = {
             tile: quality for tile in (tiles if tiles is not None else self.grid.tiles())
         }
-        return self.encode_gop_mixed(frames, quality_map)
+        return self.encode_gop_mixed(frames, quality_map, workers=workers, executor=executor)
 
     def encode_gop_mixed(
-        self, frames: list[Frame], quality_map: dict[tuple[int, int], Quality]
+        self,
+        frames: list[Frame],
+        quality_map: dict[tuple[int, int], Quality],
+        workers: int = 1,
+        executor: Executor | None = None,
     ) -> TiledGop:
         """Encode one GOP with a per-tile quality assignment.
 
         This is the storage-side primitive behind predictive tiling: the
         caller decides quality per tile, the codec encodes each tile's
         sub-frames as an independent closed GOP.
+
+        With ``workers > 1`` (or an explicit ``executor``, which takes
+        precedence and is not shut down here) the per-tile encodes fan out
+        across processes. Tiles are closed GOPs with no shared state, so
+        the parallel path is byte-identical to the ``workers=1`` serial
+        one; ingest-level callers pass a shared executor so the pool is
+        paid for once per video, not once per GOP.
         """
         if not frames:
             raise ValueError("cannot encode an empty GOP")
@@ -300,7 +343,7 @@ class TiledVideoCodec:
                     f"frame {index} is {frame.width}x{frame.height}, "
                     f"codec configured for {self.width}x{self.height}"
                 )
-        payloads = {}
+        jobs: list[tuple[tuple[int, int], Quality, list[Frame]]] = []
         for tile, quality in quality_map.items():
             row, col = tile
             self.grid.index_of(row, col)
@@ -310,7 +353,22 @@ class TiledVideoCodec:
                 frame.crop(x0, y0, x0 + self.tile_width, y0 + self.tile_height)
                 for frame in frames
             ]
-            payloads[tile] = self._codec(quality).encode_gop(sub_frames)
+            jobs.append((tile, quality, sub_frames))
+        own_pool = None
+        if executor is None:
+            executor = own_pool = make_encode_executor(workers, len(jobs))
+        try:
+            if executor is not None:
+                chunk = max(1, len(jobs) // (4 * max(workers, 1)))
+                payloads = dict(executor.map(_encode_tile_job, jobs, chunksize=chunk))
+            else:
+                payloads = {
+                    tile: self._codec(quality).encode_gop(sub_frames)
+                    for tile, quality, sub_frames in jobs
+                }
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown()
         return TiledGop(
             width=self.width,
             height=self.height,

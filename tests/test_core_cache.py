@@ -88,6 +88,99 @@ class TestEviction:
         assert cache.size_bytes == 0
 
 
+class TestGetOrLoad:
+    def test_loads_on_miss_then_serves_cached(self):
+        cache = LruSegmentCache(100)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return b"payload"
+
+        assert cache.get_or_load("a", loader) == b"payload"
+        assert cache.get_or_load("a", loader) == b"payload"
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_loader_exception_propagates_and_releases_key(self):
+        cache = LruSegmentCache(100)
+
+        def failing():
+            raise OSError("disk gone")
+
+        with pytest.raises(OSError):
+            cache.get_or_load("a", failing)
+        # The key is released: a later request retries the load.
+        assert cache.get_or_load("a", lambda: b"ok") == b"ok"
+
+    def test_oversized_value_returned_but_not_admitted(self):
+        cache = LruSegmentCache(4)
+        assert cache.get_or_load("big", lambda: b"123456") == b"123456"
+        assert len(cache) == 0
+
+    def test_single_flight_under_contention(self):
+        """Concurrent misses on one key share one loader call."""
+        import threading
+
+        cache = LruSegmentCache(10_000)
+        gate = threading.Event()
+        load_calls = []
+        results = []
+        errors = []
+
+        def slow_loader():
+            load_calls.append(1)
+            gate.wait(timeout=5.0)
+            return b"segment-bytes"
+
+        def request():
+            try:
+                results.append(cache.get_or_load("seg", slow_loader))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Give every thread time to reach the miss; only the leader may load.
+        import time
+
+        time.sleep(0.1)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not errors
+        assert results == [b"segment-bytes"] * 8
+        assert len(load_calls) == 1
+        assert cache.stats.misses == 8
+        assert cache.stats.hits == 0
+
+    def test_distinct_keys_load_concurrently(self):
+        """One key's in-flight load must not serialise other keys."""
+        import threading
+
+        cache = LruSegmentCache(10_000)
+        slow_started = threading.Event()
+        slow_gate = threading.Event()
+
+        def slow_loader():
+            slow_started.set()
+            slow_gate.wait(timeout=5.0)
+            return b"slow"
+
+        slow_thread = threading.Thread(
+            target=lambda: cache.get_or_load("slow-key", slow_loader)
+        )
+        slow_thread.start()
+        assert slow_started.wait(timeout=5.0)
+        # While slow-key is mid-load, a different key completes immediately.
+        assert cache.get_or_load("fast-key", lambda: b"fast") == b"fast"
+        slow_gate.set()
+        slow_thread.join(timeout=5.0)
+        assert cache.get("slow-key") == b"slow"
+
+
 @pytest.fixture()
 def loaded(tmp_path) -> StorageManager:
     storage = StorageManager(tmp_path)
