@@ -18,6 +18,7 @@ from repro.core.storage import IngestConfig
 from repro.core.streamer import SessionConfig
 from repro.geometry.grid import TileGrid
 from repro.geometry.viewport import Orientation, Viewport
+from repro.obs import MetricsRegistry
 from repro.predict.traces import HeadMovementModel, Trace
 from repro.stream.abr import NaiveFullQuality, PredictiveTilingPolicy, UniformAdaptive
 from repro.stream.network import ConstantBandwidth, SteppedBandwidth, TraceBandwidth
@@ -31,6 +32,7 @@ __all__ = [
     "Frame",
     "HeadMovementModel",
     "IngestConfig",
+    "MetricsRegistry",
     "NaiveFullQuality",
     "Orientation",
     "PredictiveTilingPolicy",

@@ -121,6 +121,7 @@ def bench_ingest(frames, config_args: dict, workers_list: list[int]) -> dict:
     """End-to-end ``StorageManager.ingest`` at each worker count."""
     raw_bytes = sum(plane.nbytes for frame in frames for plane in frame.planes)
     runs: dict[str, dict] = {}
+    metrics_snapshot: dict = {}
     for workers in workers_list:
         config = IngestConfig(workers=workers, **config_args)
         with tempfile.TemporaryDirectory(prefix="bench-ingest-") as root:
@@ -129,6 +130,7 @@ def bench_ingest(frames, config_args: dict, workers_list: list[int]) -> dict:
             storage.ingest("bench", iter(frames), config)
             seconds = time.perf_counter() - start
             stored = storage.total_bytes("bench")
+            metrics_snapshot = storage.metrics.snapshot()
         runs[str(workers)] = {
             "seconds": seconds,
             "frames_per_sec": len(frames) / seconds,
@@ -144,6 +146,9 @@ def bench_ingest(frames, config_args: dict, workers_list: list[int]) -> dict:
         "parallel_speedup": {
             key: serial / run["seconds"] for key, run in runs.items()
         },
+        # Per-phase observability of the last (most parallel) run: span
+        # histograms for encode/write/commit plus storage counters.
+        "metrics": metrics_snapshot,
     }
 
 

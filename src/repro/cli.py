@@ -10,6 +10,7 @@ The operational surface a deployment needs:
     python -m repro serve demo --policy predictive --bandwidth 20000
     python -m repro query demo --select-time 0:2 --grayscale --store gray
     python -m repro export demo /tmp/demo.mp4
+    python -m repro metrics demo --sessions 4 --format prom
     python -m repro drop demo
 
 Every command operates on the database directory given by ``--root``
@@ -158,6 +159,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("stats", help="catalog and cache statistics")
 
+    metrics = commands.add_parser(
+        "metrics",
+        help="export live metrics (JSON or Prometheus text), optionally after "
+        "exercising a multi-session delivery run",
+    )
+    metrics.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="video to stream to --sessions simulated viewers over one shared "
+        "link before exporting (omit to export whatever has accrued)",
+    )
+    metrics.add_argument(
+        "--sessions", type=int, default=4, help="simulated viewers (default 4)"
+    )
+    metrics.add_argument(
+        "--bandwidth",
+        type=float,
+        default=200_000.0,
+        help="shared uplink capacity in bytes/second",
+    )
+    metrics.add_argument(
+        "--viewer-seed", type=int, default=0, help="viewer population seed"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        dest="export_format",
+        help="json = registry snapshot; prom = Prometheus text exposition",
+    )
+    metrics.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+
     return parser
 
 
@@ -280,6 +316,39 @@ def _command_vacuum(db: VisualCloud, args) -> None:
     print(f"vacuumed {args.name!r}: removed {files} files, freed {freed} bytes")
 
 
+def _command_metrics(db: VisualCloud, args) -> None:
+    import json
+
+    from repro.stream.estimator import HarmonicMeanEstimator
+    from repro.stream.network import SimulatedLink
+
+    if args.name is not None:
+        meta = db.meta(args.name)
+        population = ViewerPopulation(seed=args.viewer_seed)
+        sessions = []
+        for viewer in range(max(1, args.sessions)):
+            trace = population.trace(viewer, duration=meta.duration, rate=10.0)
+            config = SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(args.bandwidth),
+                predictor="static",
+                estimator=HarmonicMeanEstimator(),
+            )
+            sessions.append((args.name, trace, config))
+        link = SimulatedLink(ConstantBandwidth(args.bandwidth))
+        db.serve_all(sessions, link)
+
+    if args.export_format == "prom":
+        rendered = db.metrics.to_prometheus()
+    else:
+        rendered = json.dumps(db.metrics.snapshot(), indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote metrics to {args.output}")
+    else:
+        print(rendered)
+
+
 def _command_stats(db: VisualCloud, args) -> None:
     snapshot = db.stats()
     for name, info in snapshot["videos"].items():
@@ -312,6 +381,7 @@ _COMMANDS = {
     "drop": _command_drop,
     "vacuum": _command_vacuum,
     "stats": _command_stats,
+    "metrics": _command_metrics,
 }
 
 

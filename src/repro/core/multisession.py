@@ -9,10 +9,24 @@ impose on another's — is modelled rather than assumed away.
 
 The per-window logic is the single-session streamer's, restructured as a
 resumable state machine so sessions interleave at window granularity.
+
+Scheduling is heap-based: sessions wait in priority queues keyed by the
+time they next want the link, so picking the next transfer is
+O(log sessions) instead of the naive rebuild-and-scan (which made
+``serve_all`` O(sessions² × windows)). The naive scan is retained as
+``scheduler="naive"`` — a reference implementation the heap path is
+differentially tested against.
+
+Every window reports into the streamer's metrics registry: decision,
+queue-wait, transfer, and stall timings as histograms, per-session byte
+and window counters, and the shared link's utilisation.
 """
 
 from __future__ import annotations
 
+import copy
+import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,8 +34,10 @@ import numpy as np
 from repro.core.storage import StorageManager
 from repro.core.predictor import PredictionService
 from repro.core.streamer import SessionConfig, Streamer
+from repro.obs import MetricsRegistry
 from repro.predict.traces import Trace
 from repro.stream.abr import estimate_budget
+from repro.stream.estimator import ThroughputEstimator
 from repro.stream.network import SimulatedLink
 from repro.stream.qoe import QoEReport, WindowRecord
 
@@ -30,11 +46,18 @@ from repro.stream.qoe import QoEReport, WindowRecord
 class _SessionState:
     """One viewer's progress through their video."""
 
+    index: int  # position in the serve_all input (labels metrics, breaks ties)
     name: str
     trace: Trace
     config: SessionConfig
     manifest: object
     predictor: object
+    #: The session's private throughput estimator. Deep-copied from the
+    #: config so N sessions sharing one ``SessionConfig`` do not share
+    #: one estimator — a shared instance lets sessions corrupt each
+    #: other's bandwidth signal (and the setup loop's reset would wipe
+    #: earlier sessions' state).
+    estimator: ThroughputEstimator | None
     start_offset: float  # wall time the session begins
     next_window: int = 0
     trace_cursor: int = 0
@@ -45,68 +68,169 @@ class _SessionState:
     def finished(self) -> bool:
         return self.next_window >= self.manifest.window_count
 
-    def next_request_time(self, link_busy_until: float) -> float:
-        """When this session wants its next window on the wire."""
-        duration = self.manifest.window_duration
+    def request_time_key(self) -> float:
+        """The busy-independent component of the next request time: when
+        this session *wants* its next window, ignoring link contention."""
         if self.next_window == 0:
             return max(self.start_offset, 0.0)
+        duration = self.manifest.window_duration
         due = self.starts[-1] + duration
-        return max(link_busy_until, due - self.config.buffer_windows * duration)
+        return due - self.config.buffer_windows * duration
+
+    def next_request_time(self, link_busy_until: float) -> float:
+        """When this session wants its next window on the wire."""
+        key = self.request_time_key()
+        if self.next_window == 0:
+            return key
+        return max(link_busy_until, key)
 
 
 class SharedLinkStreamer:
     """Serves many sessions over one shared link, in request order."""
 
-    def __init__(self, storage: StorageManager, prediction: PredictionService) -> None:
+    def __init__(
+        self,
+        storage: StorageManager,
+        prediction: PredictionService,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.storage = storage
         self.prediction = prediction
-        self._single = Streamer(storage, prediction)
+        self.metrics = (
+            registry
+            if registry is not None
+            else getattr(storage, "metrics", None) or MetricsRegistry()
+        )
+        self._single = Streamer(storage, prediction, registry=self.metrics)
 
     def serve_all(
         self,
         sessions: list[tuple[str, Trace, SessionConfig]],
         link: SimulatedLink,
         start_offsets: list[float] | None = None,
+        scheduler: str = "heap",
     ) -> list[QoEReport]:
         """Run every session to completion over the shared ``link``.
 
         ``start_offsets`` staggers session arrivals (default: all at 0).
-        Returns one QoE report per session, in input order.
+        ``scheduler`` selects ``"heap"`` (the default, O(log sessions)
+        per window) or ``"naive"`` (the reference rebuild-and-scan; same
+        schedule, kept for differential testing). Returns one QoE report
+        per session, in input order.
         """
         if not sessions:
             raise ValueError("no sessions to serve")
+        if scheduler not in ("heap", "naive"):
+            raise ValueError(f"unknown scheduler {scheduler!r}; use 'heap' or 'naive'")
         offsets = start_offsets or [0.0] * len(sessions)
         if len(offsets) != len(sessions):
             raise ValueError(
                 f"{len(offsets)} start offsets for {len(sessions)} sessions"
             )
         states = []
-        for (name, trace, config), offset in zip(sessions, offsets):
+        for index, ((name, trace, config), offset) in enumerate(zip(sessions, offsets)):
             manifest = self.storage.build_manifest(name)
             predictor = self.prediction.session_predictor(
                 config.predictor, video=name, grid=manifest.grid, trace=trace
             )
             predictor.reset()
-            if config.estimator is not None:
-                config.estimator.reset()
+            # Each session gets a private copy of the configured
+            # estimator; the caller's object is never reset or fed.
+            estimator = copy.deepcopy(config.estimator)
+            if estimator is not None:
+                estimator.reset()
             states.append(
                 _SessionState(
+                    index=index,
                     name=name,
                     trace=trace,
                     config=config,
                     manifest=manifest,
                     predictor=predictor,
+                    estimator=estimator,
                     start_offset=float(offset),
                 )
             )
+        self.metrics.counter("stream.sessions", "streaming sessions started").inc(
+            len(states), mode="shared"
+        )
 
+        active_before = self.metrics.counter(
+            "sharedlink.active_seconds", "link time spent transferring"
+        ).total()
+        if scheduler == "naive":
+            self._run_naive(states, link)
+        else:
+            self._run_heap(states, link)
+        active = (
+            self.metrics.counter("sharedlink.active_seconds").total() - active_before
+        )
+        if link.busy_until > 0:
+            self.metrics.gauge(
+                "sharedlink.utilisation",
+                "fraction of the link's makespan spent transferring (last run)",
+            ).set(active / link.busy_until)
+        return [QoEReport(state.records) for state in states]
+
+    def _run_naive(self, states: list[_SessionState], link: SimulatedLink) -> None:
+        """Reference scheduler: rescan every unfinished session per window."""
         pending = [state for state in states if not state.finished]
         while pending:
             # Earliest requester wins the link next — FIFO service.
             state = min(pending, key=lambda s: s.next_request_time(link.busy_until))
             self._serve_one_window(state, link)
             pending = [state for state in states if not state.finished]
-        return [QoEReport(state.records) for state in states]
+
+    def _run_heap(self, states: list[_SessionState], link: SimulatedLink) -> None:
+        """Heap scheduler, schedule-identical to :meth:`_run_naive`.
+
+        Three pools mirror how ``next_request_time`` values behave:
+
+        * ``unstarted`` — window-0 sessions; their request time is the
+          raw start offset (*not* clamped to the link's busy time), so
+          they are ordered by ``(offset, index)`` directly.
+        * ``waiting`` — started sessions whose desired time is still in
+          the future (key > busy): effective time is the key itself.
+        * ``ready`` — started sessions whose desired time has passed
+          (key <= busy): their effective time is the link's busy time,
+          identical for all, so only the session index orders them.
+
+        The naive loop's ``min`` ties break on input order; comparing the
+        three pool heads by ``(effective_time, index)`` reproduces that
+        exactly, which the differential test asserts.
+        """
+        unstarted = [
+            (state.request_time_key(), state.index)
+            for state in states
+            if not state.finished
+        ]
+        heapq.heapify(unstarted)
+        waiting: list[tuple[float, int]] = []
+        ready: list[int] = []
+        by_index = {state.index: state for state in states}
+
+        while unstarted or waiting or ready:
+            busy = link.busy_until
+            while waiting and waiting[0][0] <= busy:
+                _, index = heapq.heappop(waiting)
+                heapq.heappush(ready, index)
+            candidates: list[tuple[float, int, list]] = []
+            if unstarted:
+                candidates.append((unstarted[0][0], unstarted[0][1], unstarted))
+            if ready:
+                candidates.append((busy, ready[0], ready))
+            if waiting:
+                candidates.append((waiting[0][0], waiting[0][1], waiting))
+            _, index, pool = min(candidates, key=lambda item: (item[0], item[1]))
+            heapq.heappop(pool)
+            state = by_index[index]
+            self._serve_one_window(state, link)
+            if not state.finished:
+                key = state.request_time_key()
+                if key <= link.busy_until:
+                    heapq.heappush(ready, state.index)
+                else:
+                    heapq.heappush(waiting, (key, state.index))
 
     def _serve_one_window(self, state: _SessionState, link: SimulatedLink) -> None:
         config = state.config
@@ -118,6 +242,7 @@ class SharedLinkStreamer:
 
         # Media time within *this* session: wall time minus its playback
         # schedule, exactly as in the single-session streamer.
+        decision_started = time.perf_counter()
         media_now = Streamer._media_time(
             [start - state.start_offset for start in state.starts],
             duration,
@@ -133,8 +258,8 @@ class SharedLinkStreamer:
         # wire is the shared link. Without an estimator a session reads the
         # link's raw capacity — optimistic, since it ignores contention —
         # which is precisely why estimators matter under sharing.
-        if config.estimator is not None and config.estimator.estimate() is not None:
-            bandwidth_estimate = config.estimator.estimate()
+        if state.estimator is not None and state.estimator.estimate() is not None:
+            bandwidth_estimate = state.estimator.estimate()
         else:
             bandwidth_estimate = link.model.rate_at(request_time)
         budget = estimate_budget(bandwidth_estimate, duration, config.safety)
@@ -143,11 +268,18 @@ class SharedLinkStreamer:
             tile: manifest.resolve(window, tile, quality)
             for tile, quality in quality_map.items()
         }
+        self.metrics.histogram(
+            "stream.decision_seconds", "wall time spent predicting + assigning"
+        ).observe(time.perf_counter() - decision_started, mode="shared")
+        # Assemble the payload the wire carries: real segment reads through
+        # the shared cache, which is how concurrent viewers of the same
+        # content amortise storage work.
+        self.storage.read_window(state.name, window, quality_map)
         size = manifest.window_size(window, quality_map)
         transfer_start = max(request_time, link.busy_until)
         delivered = link.transfer(size, request_time)
-        if config.estimator is not None:
-            config.estimator.observe(size, delivered - transfer_start)
+        if state.estimator is not None:
+            state.estimator.observe(size, delivered - transfer_start)
 
         if window == 0:
             playback_start, stall = delivered, 0.0
@@ -156,6 +288,29 @@ class SharedLinkStreamer:
             playback_start = max(nominal, delivered)
             stall = playback_start - nominal
         state.starts.append(playback_start)
+
+        session = f"{state.name}#{state.index}"
+        self.metrics.counter("stream.windows", "delivery windows served").inc(
+            session=session
+        )
+        self.metrics.counter("stream.bytes_sent", "media bytes put on the wire").inc(
+            size, session=session
+        )
+        self.metrics.histogram(
+            "stream.queue_seconds", "simulated wait for the link per window"
+        ).observe(transfer_start - request_time, mode="shared")
+        self.metrics.histogram(
+            "stream.transfer_seconds", "simulated on-the-wire time per window"
+        ).observe(delivered - transfer_start, mode="shared")
+        self.metrics.histogram(
+            "stream.stall_seconds", "simulated rebuffering per window"
+        ).observe(stall, mode="shared")
+        if stall > 1e-9:
+            self.metrics.counter("stream.stalls", "windows that rebuffered").inc(
+                session=session
+            )
+        self.metrics.counter("sharedlink.active_seconds").inc(delivered - transfer_start)
+        self.metrics.counter("sharedlink.bytes_sent", "bytes through the shared link").inc(size)
 
         visible = self._single._actual_visible(
             state.trace, manifest, config, window_start, window_end

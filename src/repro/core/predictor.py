@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.grid import TileGrid
+from repro.obs import MetricsRegistry
 from repro.predict.predictors import (
     DeadReckoningPredictor,
     HybridPredictor,
@@ -29,16 +30,24 @@ PREDICTOR_KINDS = ("static", "deadreckoning", "linear", "hybrid", "markov", "ora
 class PredictionService:
     """Creates per-session predictors and holds trained per-video priors."""
 
-    def __init__(self, markov_step: float = 0.5, markov_coverage: float = 0.9) -> None:
+    def __init__(
+        self,
+        markov_step: float = 0.5,
+        markov_coverage: float = 0.9,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.markov_step = markov_step
         self.markov_coverage = markov_coverage
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self._trained: dict[tuple[str, TileGrid], np.ndarray] = {}
 
     def train(self, video: str, grid: TileGrid, traces: list[Trace]) -> None:
         """Train the Markov prior for one video from a trace corpus."""
-        trainer = MarkovPredictor(grid, step_duration=self.markov_step)
-        trainer.train(traces)
-        self._trained[(video, grid)] = trainer.transitions
+        with self.metrics.span("prediction.train", video=video, traces=len(traces)):
+            trainer = MarkovPredictor(grid, step_duration=self.markov_step)
+            trainer.train(traces)
+            self._trained[(video, grid)] = trainer.transitions
+        self.metrics.counter("prediction.models_trained", "Markov priors trained").inc()
 
     def is_trained(self, video: str, grid: TileGrid) -> bool:
         return (video, grid) in self._trained
@@ -55,6 +64,10 @@ class PredictionService:
         ``video``/``grid`` are required for ``markov`` (to look up the
         trained matrix); ``trace`` is required for ``oracle``.
         """
+        if kind in PREDICTOR_KINDS:
+            self.metrics.counter(
+                "prediction.sessions", "session predictors handed out"
+            ).inc(kind=kind)
         if kind == "static":
             return StaticPredictor()
         if kind == "deadreckoning":

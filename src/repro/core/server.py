@@ -21,18 +21,32 @@ from repro.core.predictor import PredictionService
 from repro.core.query import Expr, QueryExecutor, QueryResult
 from repro.core.storage import IngestConfig, StorageManager, VideoMeta
 from repro.core.streamer import SessionConfig, Streamer
+from repro.obs import MetricsRegistry
 from repro.predict.traces import Trace
+from repro.stream.network import SimulatedLink
 from repro.stream.qoe import QoEReport
 from repro.video.frame import Frame
 
 
 class VisualCloud:
-    """A VisualCloud database instance rooted at a directory."""
+    """A VisualCloud database instance rooted at a directory.
+
+    One :class:`~repro.obs.MetricsRegistry` (``self.metrics``) spans the
+    whole instance — storage, cache, prediction, and both streamers all
+    report into it, and :meth:`stats` merges the snapshot into the
+    operational view.
+    """
 
     def __init__(self, root: Path | str) -> None:
-        self.storage = StorageManager(root)
-        self.prediction = PredictionService()
-        self.streamer = Streamer(self.storage, self.prediction)
+        from repro.core.multisession import SharedLinkStreamer
+
+        self.metrics = MetricsRegistry()
+        self.storage = StorageManager(root, registry=self.metrics)
+        self.prediction = PredictionService(registry=self.metrics)
+        self.streamer = Streamer(self.storage, self.prediction, registry=self.metrics)
+        self.shared_streamer = SharedLinkStreamer(
+            self.storage, self.prediction, registry=self.metrics
+        )
         self.executor = QueryExecutor(self.storage)
 
     # -- catalog ------------------------------------------------------------
@@ -54,8 +68,9 @@ class VisualCloud:
         return self.storage.vacuum(name, keep_versions)
 
     def stats(self) -> dict:
-        """Operational snapshot of the catalog and the segment cache."""
-        return self.storage.stats()
+        """Operational snapshot: catalog, segment cache, and the merged
+        metrics registry (counters/gauges/histograms/recent spans)."""
+        return {**self.storage.stats(), "metrics": self.metrics.snapshot()}
 
     # -- ingest ---------------------------------------------------------------
 
@@ -106,6 +121,15 @@ class VisualCloud:
     def serve(self, name: str, trace: Trace, config: SessionConfig) -> QoEReport:
         """Stream a stored video to one simulated viewer."""
         return self.streamer.serve(name, trace, config)
+
+    def serve_all(
+        self,
+        sessions: list[tuple[str, Trace, SessionConfig]],
+        link: SimulatedLink,
+        start_offsets: list[float] | None = None,
+    ) -> list[QoEReport]:
+        """Stream to many viewers over one shared bottleneck link."""
+        return self.shared_streamer.serve_all(sessions, link, start_offsets)
 
     # -- queries ---------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator
 from repro.core.catalog import Catalog
 from repro.core.errors import CatalogError, IngestError, SegmentNotFoundError
 from repro.geometry.grid import TileGrid
+from repro.obs import MetricsRegistry
 from repro.stream.dash import Manifest, SegmentKey
 from repro.video.frame import Frame
 from repro.video.mp4 import (
@@ -269,15 +270,29 @@ class StorageManager:
     (:class:`repro.core.cache.LruSegmentCache`); pass 0 to disable caching
     (every read hits the filesystem — the configuration the cache
     benchmark compares against).
+
+    ``registry`` is the metrics registry every read/ingest timing and the
+    cache's accounting report into; by default the manager owns one
+    (``self.metrics``), and :class:`~repro.core.server.VisualCloud`
+    passes a database-wide registry so storage, delivery, and prediction
+    metrics export together.
     """
 
-    def __init__(self, root: Path | str, cache_bytes: int = 8 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        cache_bytes: int = 8 * 1024 * 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         from repro.core.cache import LruSegmentCache
 
         self.catalog = Catalog(root)
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self._meta_cache: dict[tuple[str, int], VideoMeta] = {}
         self.segment_cache = (
-            LruSegmentCache(cache_bytes) if cache_bytes > 0 else None
+            LruSegmentCache(cache_bytes, registry=self.metrics)
+            if cache_bytes > 0
+            else None
         )
 
     # -- catalog passthroughs -------------------------------------------------
@@ -336,16 +351,17 @@ class StorageManager:
             raise IngestError(f"cannot ingest {name!r}: the frame source is empty")
         self.catalog.create(name)
         try:
-            return self._write_version(
-                name,
-                version=1,
-                config=config,
-                gop_batches=self._prepend(first, gops),
-                base_meta=None,
-                streaming=streaming,
-                quality_plan=quality_plan,
-                workers=workers,
-            )
+            with self.metrics.span("storage.ingest", video=name, phase="ingest"):
+                return self._write_version(
+                    name,
+                    version=1,
+                    config=config,
+                    gop_batches=self._prepend(first, gops),
+                    base_meta=None,
+                    streaming=streaming,
+                    quality_plan=quality_plan,
+                    workers=workers,
+                )
         except Exception:
             self.catalog.drop(name)
             raise
@@ -410,13 +426,32 @@ class StorageManager:
                     # executor=None means the serial path was chosen (or the
                     # platform refused a pool) — don't let the codec retry
                     # pool creation per GOP.
-                    tiled = codec.encode_gop(batch, quality, tiles=tiles, executor=executor)
-                    for tile, payload in tiled.payloads.items():
-                        path = self.catalog.segment_path(name, gop_index, tile, quality, version)
-                        path.write_bytes(payload)
-                        new_entries[(gop_index, tile, quality)] = SegmentEntry(
-                            len(payload), version
+                    with self.metrics.span(
+                        "storage.ingest.encode",
+                        video=name,
+                        gop=gop_index,
+                        quality=quality.label,
+                    ):
+                        tiled = codec.encode_gop(
+                            batch, quality, tiles=tiles, executor=executor
                         )
+                    with self.metrics.span(
+                        "storage.ingest.write", video=name, gop=gop_index
+                    ):
+                        for tile, payload in tiled.payloads.items():
+                            path = self.catalog.segment_path(
+                                name, gop_index, tile, quality, version
+                            )
+                            path.write_bytes(payload)
+                            new_entries[(gop_index, tile, quality)] = SegmentEntry(
+                                len(payload), version
+                            )
+                            self.metrics.counter(
+                                "storage.segments_written", "segment files written"
+                            ).inc()
+                            self.metrics.counter(
+                                "storage.bytes_written", "segment bytes written"
+                            ).inc(len(payload))
                 frame_counts.append(len(batch))
         finally:
             if executor is not None:
@@ -489,16 +524,17 @@ class StorageManager:
         quality_plan = {
             tile: tuple(sorted(ladder, reverse=True)) for tile, ladder in observed.items()
         }
-        return self._write_version(
-            name,
-            version=base.version + 1,
-            config=config,
-            gop_batches=_chunk(frames, base.gop_frames),
-            base_meta=base,
-            streaming=True,
-            quality_plan=quality_plan,
-            workers=workers,
-        )
+        with self.metrics.span("storage.ingest", video=name, phase="append"):
+            return self._write_version(
+                name,
+                version=base.version + 1,
+                config=config,
+                gop_batches=_chunk(frames, base.gop_frames),
+                base_meta=base,
+                streaming=True,
+                quality_plan=quality_plan,
+                workers=workers,
+            )
 
     def reingest(
         self,
@@ -542,15 +578,16 @@ class StorageManager:
                     best[tile] = stored[0]  # qualities are ordered best first
                 yield from self.read_window(name, gop, best, base.version).decode()
 
-        return self._write_version(
-            name,
-            version=base.version + 1,
-            config=config,
-            gop_batches=_chunk(decoded_frames(), config.gop_frames),
-            base_meta=None,
-            streaming=base.streaming,
-            workers=workers,
-        )
+        with self.metrics.span("storage.ingest", video=name, phase="reingest"):
+            return self._write_version(
+                name,
+                version=base.version + 1,
+                config=config,
+                gop_batches=_chunk(decoded_frames(), config.gop_frames),
+                base_meta=None,
+                streaming=base.streaming,
+                workers=workers,
+            )
 
     def store_windows(
         self,
@@ -612,8 +649,12 @@ class StorageManager:
             raise CatalogError(
                 f"refusing to overwrite committed metadata {path.name} of {meta.name!r}"
             )
-        path.write_bytes(_build_metadata_file(meta).serialize())
+        with self.metrics.span(
+            "storage.ingest.commit", video=meta.name, version=meta.version
+        ):
+            path.write_bytes(_build_metadata_file(meta).serialize())
         self._meta_cache[(meta.name, meta.version)] = meta
+        self.metrics.counter("storage.versions_committed", "metadata commits").inc()
 
     # -- reads -------------------------------------------------------------------
 
@@ -660,12 +701,20 @@ class StorageManager:
                 )
             return data
 
-        if self.segment_cache is None:
-            return load()
-        cache_key = (name, gop, tile, quality, entry.file_version)
-        # Single-flight: concurrent sessions missing on the same segment
-        # share one file read instead of stampeding the filesystem.
-        return self.segment_cache.get_or_load(cache_key, load)
+        with self.metrics.span(
+            "storage.read_segment", video=name, gop=gop, tile=tile, quality=quality.label
+        ):
+            if self.segment_cache is None:
+                data = load()
+            else:
+                cache_key = (name, gop, tile, quality, entry.file_version)
+                # Single-flight: concurrent sessions missing on the same
+                # segment share one file read instead of stampeding the
+                # filesystem.
+                data = self.segment_cache.get_or_load(cache_key, load)
+        self.metrics.counter("storage.segments_read", "segment reads served").inc()
+        self.metrics.counter("storage.bytes_read", "segment bytes served").inc(len(data))
+        return data
 
     def read_window(
         self,
@@ -680,10 +729,12 @@ class StorageManager:
         stored bytes are placed into the window container untouched.
         """
         meta = self.meta(name, version)
-        payloads = {
-            tile: self.read_segment(name, gop, tile, quality, version)
-            for tile, quality in quality_map.items()
-        }
+        with self.metrics.span("storage.read_window", video=name, gop=gop):
+            payloads = {
+                tile: self.read_segment(name, gop, tile, quality, version)
+                for tile, quality in quality_map.items()
+            }
+        self.metrics.counter("storage.windows_assembled", "delivery windows built").inc()
         return TiledGop(
             width=meta.width,
             height=meta.height,

@@ -20,12 +20,14 @@ predictions. That coupling is the trade-off the granularity ablation
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.predictor import PredictionService
 from repro.core.storage import StorageManager
+from repro.obs import MetricsRegistry
 from repro.geometry.viewport import Orientation, Viewport
 from repro.predict.predictors import Predictor
 from repro.predict.traces import Trace
@@ -59,14 +61,33 @@ class SessionConfig:
 
 
 class Streamer:
-    """Serves stored videos to simulated viewers."""
+    """Serves stored videos to simulated viewers.
 
-    def __init__(self, storage: StorageManager, prediction: PredictionService) -> None:
+    ``registry`` is where per-window delivery metrics land (decision,
+    queue, transfer, and stall timings; byte and window counters); it
+    defaults to the storage manager's registry so one export covers the
+    whole path.
+    """
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        prediction: PredictionService,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.storage = storage
         self.prediction = prediction
+        self.metrics = (
+            registry
+            if registry is not None
+            else getattr(storage, "metrics", None) or MetricsRegistry()
+        )
 
     def serve(self, name: str, trace: Trace, config: SessionConfig) -> QoEReport:
         """Run one complete session and return its QoE report."""
+        self.metrics.counter("stream.sessions", "streaming sessions started").inc(
+            mode="single"
+        )
         manifest = self.storage.build_manifest(name)
         predictor = self.prediction.session_predictor(
             config.predictor, video=name, grid=manifest.grid, trace=trace
@@ -93,6 +114,7 @@ class Streamer:
 
             # Feed the predictor every client orientation report up to the
             # media instant playing at request time.
+            decision_started = time.perf_counter()
             media_now = self._media_time(starts, duration, request_time)
             trace_cursor = self._observe(predictor, trace, trace_cursor, media_now)
 
@@ -123,6 +145,12 @@ class Streamer:
                 tile: manifest.resolve(window, tile, quality)
                 for tile, quality in quality_map.items()
             }
+            self.metrics.histogram(
+                "stream.decision_seconds", "wall time spent predicting + assigning"
+            ).observe(time.perf_counter() - decision_started, mode="single")
+            # Assemble the payload the wire carries — real segment reads
+            # through the cache, so storage metrics reflect delivery.
+            self.storage.read_window(name, window, quality_map)
             size = manifest.window_size(window, quality_map)
             transfer_start = max(request_time, link.busy_until)
             delivered = link.transfer(size, request_time)
@@ -136,6 +164,26 @@ class Streamer:
                 playback_start = max(nominal, delivered)
                 stall = playback_start - nominal
             starts.append(playback_start)
+
+            self.metrics.counter("stream.windows", "delivery windows served").inc(
+                session=name
+            )
+            self.metrics.counter("stream.bytes_sent", "media bytes put on the wire").inc(
+                size, session=name
+            )
+            self.metrics.histogram(
+                "stream.queue_seconds", "simulated wait for the link per window"
+            ).observe(transfer_start - request_time, mode="single")
+            self.metrics.histogram(
+                "stream.transfer_seconds", "simulated on-the-wire time per window"
+            ).observe(delivered - transfer_start, mode="single")
+            self.metrics.histogram(
+                "stream.stall_seconds", "simulated rebuffering per window"
+            ).observe(stall, mode="single")
+            if stall > 1e-9:
+                self.metrics.counter("stream.stalls", "windows that rebuffered").inc(
+                    session=name
+                )
 
             visible = self._actual_visible(trace, manifest, config, window_start, window_end)
             record = WindowRecord(

@@ -12,6 +12,24 @@ from __future__ import annotations
 import abc
 from collections import deque
 
+#: Floor applied to observed transfer durations. On a fast (or simulated)
+#: link a window can complete in the same instant it starts; discarding
+#: those samples would leave the estimator blind forever exactly when the
+#: link is at its best, silently falling back to the oracle rate. Clamping
+#: to one millisecond keeps the sample as a very-high-rate observation.
+MIN_TRANSFER_SECONDS = 1e-3
+
+
+def _clamped_rate(size_bytes: int, duration_seconds: float) -> float | None:
+    """Bytes/second of one transfer, or None if it carries no signal.
+
+    Zero-byte windows are dropped (no signal); zero/negative durations are
+    clamped to :data:`MIN_TRANSFER_SECONDS` rather than dropped.
+    """
+    if size_bytes <= 0:
+        return None
+    return size_bytes / max(duration_seconds, MIN_TRANSFER_SECONDS)
+
 
 class ThroughputEstimator(abc.ABC):
     """Online bytes-per-second estimator fed by completed transfers."""
@@ -43,9 +61,9 @@ class HarmonicMeanEstimator(ThroughputEstimator):
         self._samples: deque[float] = deque(maxlen=window)
 
     def observe(self, size_bytes: int, duration_seconds: float) -> None:
-        if size_bytes <= 0 or duration_seconds <= 0:
-            return  # zero-byte windows and instant transfers carry no signal
-        self._samples.append(size_bytes / duration_seconds)
+        rate = _clamped_rate(size_bytes, duration_seconds)
+        if rate is not None:
+            self._samples.append(rate)
 
     def estimate(self) -> float | None:
         if not self._samples:
@@ -70,9 +88,9 @@ class EwmaEstimator(ThroughputEstimator):
         self._value: float | None = None
 
     def observe(self, size_bytes: int, duration_seconds: float) -> None:
-        if size_bytes <= 0 or duration_seconds <= 0:
+        rate = _clamped_rate(size_bytes, duration_seconds)
+        if rate is None:
             return
-        rate = size_bytes / duration_seconds
         if self._value is None:
             self._value = rate
         else:
@@ -93,9 +111,9 @@ class LastSampleEstimator(ThroughputEstimator):
         self._value: float | None = None
 
     def observe(self, size_bytes: int, duration_seconds: float) -> None:
-        if size_bytes <= 0 or duration_seconds <= 0:
-            return
-        self._value = size_bytes / duration_seconds
+        rate = _clamped_rate(size_bytes, duration_seconds)
+        if rate is not None:
+            self._value = rate
 
     def estimate(self) -> float | None:
         return self._value

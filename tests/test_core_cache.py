@@ -181,6 +181,108 @@ class TestGetOrLoad:
         assert cache.get("slow-key") == b"slow"
 
 
+class TestInvalidationFencing:
+    """Invalidation must cancel in-flight loads, not just cached entries.
+
+    Without the fence, a leader that began loading before an invalidation
+    re-populates the cache with stale bytes after it — exactly the
+    drop-then-reingest wrong-data scenario."""
+
+    @staticmethod
+    def _slow_leader(cache, key, payload=b"stale-bytes"):
+        import threading
+
+        started = threading.Event()
+        gate = threading.Event()
+        results = []
+
+        def loader():
+            started.set()
+            gate.wait(timeout=5.0)
+            return payload
+
+        thread = threading.Thread(
+            target=lambda: results.append(cache.get_or_load(key, loader))
+        )
+        thread.start()
+        assert started.wait(timeout=5.0)
+        return thread, gate, results
+
+    def test_invalidate_fences_inflight_load(self):
+        cache = LruSegmentCache(10_000)
+        thread, gate, results = self._slow_leader(cache, "seg")
+        cache.invalidate("seg")  # races the in-flight load
+        gate.set()
+        thread.join(timeout=5.0)
+        # The leader still gets its bytes, but they are never published.
+        assert results == [b"stale-bytes"]
+        assert cache.get("seg") is None
+        assert len(cache) == 0
+        assert cache.metrics.counter("cache.fenced_loads").total() == 1
+
+    def test_waiters_still_receive_fenced_result(self):
+        import threading
+
+        cache = LruSegmentCache(10_000)
+        thread, gate, results = self._slow_leader(cache, "seg")
+        waiter_results = []
+        waiter = threading.Thread(
+            target=lambda: waiter_results.append(
+                cache.get_or_load("seg", lambda: b"should-not-run")
+            )
+        )
+        waiter.start()
+        import time
+
+        time.sleep(0.05)  # let the waiter attach to the flight
+        cache.invalidate("seg")
+        gate.set()
+        thread.join(timeout=5.0)
+        waiter.join(timeout=5.0)
+        assert results == [b"stale-bytes"]
+        # A waiter that attached before the fence may share the leader's
+        # result or (having arrived after the fence freed the slot) load
+        # fresh; either way it gets bytes and nothing stale is cached.
+        assert waiter_results and isinstance(waiter_results[0], bytes)
+        assert cache.get("seg") != b"stale-bytes"
+
+    def test_post_invalidation_request_loads_fresh(self):
+        cache = LruSegmentCache(10_000)
+        thread, gate, results = self._slow_leader(cache, "seg", payload=b"old")
+        cache.invalidate("seg")
+        # The slot was freed by the fence: a new request becomes a new
+        # leader immediately, without waiting on the stale flight.
+        assert cache.get_or_load("seg", lambda: b"new") == b"new"
+        gate.set()
+        thread.join(timeout=5.0)
+        assert results == [b"old"]  # stale leader got its own bytes...
+        assert cache.get("seg") == b"new"  # ...but the cache kept the fresh ones
+
+    def test_invalidate_prefix_fences_matching_inflight(self):
+        cache = LruSegmentCache(10_000)
+        thread_a, gate_a, _ = self._slow_leader(cache, ("v1", 0))
+        thread_b, gate_b, _ = self._slow_leader(cache, ("v2", 0), payload=b"keep")
+        cache.invalidate_prefix("v1")
+        gate_a.set()
+        gate_b.set()
+        thread_a.join(timeout=5.0)
+        thread_b.join(timeout=5.0)
+        assert cache.get(("v1", 0)) is None  # fenced
+        assert cache.get(("v2", 0)) == b"keep"  # untouched prefix cached fine
+
+    def test_clear_fences_all_inflight(self):
+        cache = LruSegmentCache(10_000)
+        thread_a, gate_a, _ = self._slow_leader(cache, "a")
+        thread_b, gate_b, _ = self._slow_leader(cache, "b")
+        cache.clear()
+        gate_a.set()
+        gate_b.set()
+        thread_a.join(timeout=5.0)
+        thread_b.join(timeout=5.0)
+        assert len(cache) == 0
+        assert cache.metrics.counter("cache.fenced_loads").total() == 2
+
+
 @pytest.fixture()
 def loaded(tmp_path) -> StorageManager:
     storage = StorageManager(tmp_path)
@@ -211,6 +313,34 @@ class TestStorageIntegration:
         loaded.read_segment("clip", 0, (0, 0), Quality.HIGH)
         loaded.drop("clip")
         assert len(loaded.segment_cache) == 0
+
+    def test_drop_fences_inflight_segment_load(self, loaded):
+        """Regression: a segment load that started before ``drop`` must
+        not re-populate the cache with the dropped video's bytes."""
+        import threading
+
+        cache = loaded.segment_cache
+        key = ("clip", 0, (0, 0), Quality.HIGH, 0)
+        started = threading.Event()
+        gate = threading.Event()
+        results = []
+
+        def slow_loader():
+            started.set()
+            gate.wait(timeout=5.0)
+            return b"bytes-from-dropped-version"
+
+        thread = threading.Thread(
+            target=lambda: results.append(cache.get_or_load(key, slow_loader))
+        )
+        thread.start()
+        assert started.wait(timeout=5.0)
+        loaded.drop("clip")  # invalidate_prefix("clip") fences the flight
+        gate.set()
+        thread.join(timeout=5.0)
+        assert results == [b"bytes-from-dropped-version"]
+        # Without the fence this returned the stale payload.
+        assert cache.get(key) is None
 
     def test_cache_can_be_disabled(self, tmp_path):
         storage = StorageManager(tmp_path, cache_bytes=0)

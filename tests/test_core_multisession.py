@@ -144,3 +144,219 @@ class TestSharedLink:
         )
         assert reports[1].records[0].request_time >= 5.0
         assert reports[0].records[0].request_time < 1.0
+
+
+def _contended_rate(shared_db, viewers=2.0):
+    """A link rate that makes estimator decisions actually matter."""
+    manifest = shared_db.storage.build_manifest("clip")
+    full = sum(
+        manifest.full_sphere_size(window, Quality.HIGH)
+        for window in range(manifest.window_count)
+    )
+    return viewers * full / manifest.duration
+
+
+def _record_tuples(report):
+    """The schedule-visible fields of every window, for exact comparison."""
+    return [
+        (
+            record.window,
+            record.request_time,
+            record.delivered_time,
+            record.playback_start,
+            record.stall_seconds,
+            record.bytes_sent,
+            record.quality_map,
+        )
+        for record in report.records
+    ]
+
+
+class TestEstimatorIsolation:
+    """Regression for the cross-session estimator leak: one
+    ``SessionConfig`` reused for N sessions must not share one
+    ``ThroughputEstimator`` instance between them."""
+
+    def test_shared_config_matches_private_configs(self, shared_db):
+        """N sessions built from ONE config object must stream exactly as
+        N sessions each holding their own config + estimator. On the old
+        code the shared estimator mixed every session's samples (and the
+        setup loop's reset wiped earlier sessions' state), skewing the
+        bandwidth signal and the quality decisions."""
+        population = ViewerPopulation(seed=3)
+        traces = [population.trace(user, DURATION, rate=10.0) for user in range(4)]
+        rate = _contended_rate(shared_db)
+
+        def private_config():
+            return SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(1e9),
+                predictor="static",
+                margin=0,
+                estimator=HarmonicMeanEstimator(),
+            )
+
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        one_config = private_config()
+        shared_reports = streamer.serve_all(
+            [("clip", trace, one_config) for trace in traces],
+            SimulatedLink(ConstantBandwidth(rate)),
+        )
+        private_reports = streamer.serve_all(
+            [("clip", trace, private_config()) for trace in traces],
+            SimulatedLink(ConstantBandwidth(rate)),
+        )
+        for shared, private in zip(shared_reports, private_reports):
+            assert _record_tuples(shared) == _record_tuples(private)
+
+    def test_callers_estimator_object_untouched(self, shared_db):
+        """``serve_all`` must neither reset nor feed the caller's
+        estimator — sessions run on private copies."""
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(12_345, 1.0)
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(1e9),
+            predictor="static",
+            margin=0,
+            estimator=estimator,
+        )
+        population = ViewerPopulation(seed=3)
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        streamer.serve_all(
+            [
+                ("clip", population.trace(user, DURATION, rate=10.0), config)
+                for user in range(2)
+            ],
+            SimulatedLink(ConstantBandwidth(_contended_rate(shared_db))),
+        )
+        assert estimator.estimate() == pytest.approx(12_345.0)
+
+    def test_sessions_observe_into_private_instances(self, shared_db):
+        """Each session's samples must land in its own estimator copy.
+        The probe records which instance every ``observe`` hit: two
+        sessions sharing one config must feed two distinct instances,
+        neither of them the caller's object."""
+
+        class ProbeEstimator(HarmonicMeanEstimator):
+            fed: set[int] = set()  # class attr: shared across deep copies
+
+            def observe(self, size_bytes, duration_seconds):
+                ProbeEstimator.fed.add(id(self))
+                super().observe(size_bytes, duration_seconds)
+
+        ProbeEstimator.fed.clear()
+        probe = ProbeEstimator()
+        config = SessionConfig(
+            policy=PredictiveTilingPolicy(),
+            bandwidth=ConstantBandwidth(1e9),
+            predictor="static",
+            margin=0,
+            estimator=probe,
+        )
+        population = ViewerPopulation(seed=3)
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        streamer.serve_all(
+            [
+                ("clip", population.trace(user, DURATION, rate=10.0), config)
+                for user in range(2)
+            ],
+            SimulatedLink(ConstantBandwidth(_contended_rate(shared_db))),
+        )
+        assert len(ProbeEstimator.fed) == 2
+        assert id(probe) not in ProbeEstimator.fed
+
+
+class TestSchedulerDifferential:
+    """The heap scheduler must reproduce the naive rebuild-and-scan
+    schedule exactly — same winner every window, same tie-breaks."""
+
+    @pytest.mark.parametrize(
+        "count, offsets, estimator, rate",
+        [
+            (4, None, False, 100_000.0),
+            (4, [0.0, 0.4, 0.8, 1.2], False, 60_000.0),
+            (8, None, True, None),  # None -> contended rate
+            (3, [2.0, 0.0, 1.0], True, None),  # out-of-order arrivals
+            (1, None, False, 50_000.0),
+        ],
+    )
+    def test_heap_matches_naive(self, shared_db, count, offsets, estimator, rate):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        if rate is None:
+            rate = _contended_rate(shared_db)
+        heap_reports = streamer.serve_all(
+            make_sessions(count, estimator=estimator),
+            SimulatedLink(ConstantBandwidth(rate)),
+            start_offsets=offsets,
+            scheduler="heap",
+        )
+        naive_reports = streamer.serve_all(
+            make_sessions(count, estimator=estimator),
+            SimulatedLink(ConstantBandwidth(rate)),
+            start_offsets=offsets,
+            scheduler="naive",
+        )
+        assert len(heap_reports) == len(naive_reports)
+        for heap_report, naive_report in zip(heap_reports, naive_reports):
+            assert _record_tuples(heap_report) == _record_tuples(naive_report)
+
+    def test_unknown_scheduler_rejected(self, shared_db):
+        streamer = SharedLinkStreamer(shared_db.storage, shared_db.prediction)
+        with pytest.raises(ValueError, match="scheduler"):
+            streamer.serve_all(
+                make_sessions(1),
+                SimulatedLink(ConstantBandwidth(1000)),
+                scheduler="fifo",
+            )
+
+
+class TestServeAllMetrics:
+    """`serve_all` through a VisualCloud instance populates the shared
+    registry with cache, storage, and per-window streaming metrics."""
+
+    def test_registry_populated_end_to_end(self, tmp_path):
+        db = VisualCloud(tmp_path / "obsdb")
+        config = IngestConfig(
+            grid=TileGrid(2, 2),
+            qualities=(Quality.HIGH, Quality.LOWEST),
+            gop_frames=4,
+            fps=4.0,
+        )
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4, duration=2.0, seed=15
+        )
+        db.ingest("clip", frames, config)
+        population = ViewerPopulation(seed=3)
+        sessions = [
+            (
+                "clip",
+                population.trace(user, 2.0, rate=10.0),
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(1e9),
+                    predictor="static",
+                    margin=0,
+                    estimator=HarmonicMeanEstimator(),
+                ),
+            )
+            for user in range(3)
+        ]
+        db.serve_all(sessions, SimulatedLink(ConstantBandwidth(50_000.0)))
+
+        assert db.metrics.counter("stream.windows").total() > 0
+        assert db.metrics.counter("stream.bytes_sent").total() > 0
+        assert db.metrics.counter("storage.segments_read").total() > 0
+        # Three viewers of one clip: the cache must have amortised reads.
+        assert db.metrics.counter("cache.hits").total() > 0
+        assert db.metrics.histogram("stream.transfer_seconds").count(mode="shared") > 0
+        assert db.metrics.histogram("storage.read_segment.seconds").count() > 0
+
+        snapshot = db.stats()["metrics"]
+        assert snapshot["counters"]["storage.segments_read"] > 0
+        assert any(key.startswith("stream.windows") for key in snapshot["counters"])
+
+        prom = db.metrics.to_prometheus()
+        assert "stream_windows" in prom
+        assert "storage_read_segment_seconds_count" in prom
+        assert 'quantile="0.5"' in prom

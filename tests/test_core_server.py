@@ -87,6 +87,31 @@ class TestServeFacade:
         assert len(report.records) == 3
 
 
+class TestStatsFacade:
+    def test_stats_merges_metrics_registry(self, db):
+        load(db, duration=3.0)
+        trace = HeadMovementModel().generate(3.0, rate=10.0, seed=2)
+        db.serve(
+            "clip",
+            trace,
+            SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)),
+        )
+        snapshot = db.stats()
+        assert "clip" in snapshot["videos"]
+        metrics = snapshot["metrics"]
+        assert metrics["counters"]["storage.segments_written"] > 0
+        assert metrics["counters"]["storage.segments_read"] > 0
+        assert any(key.startswith("stream.windows") for key in metrics["counters"])
+        assert metrics["histograms"]["storage.read_segment.seconds"]["count"] > 0
+
+    def test_one_registry_spans_all_components(self, db):
+        assert db.storage.metrics is db.metrics
+        assert db.prediction.metrics is db.metrics
+        assert db.streamer.metrics is db.metrics
+        assert db.shared_streamer.metrics is db.metrics
+        assert db.storage.segment_cache.metrics is db.metrics
+
+
 class TestQueryFacade:
     def test_execute_and_append(self, db):
         load(db, duration=2.0)

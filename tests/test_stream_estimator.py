@@ -3,6 +3,7 @@
 import pytest
 
 from repro.stream.estimator import (
+    MIN_TRANSFER_SECONDS,
     EwmaEstimator,
     HarmonicMeanEstimator,
     LastSampleEstimator,
@@ -38,11 +39,17 @@ class TestHarmonicMean:
         estimator.observe(1000, 100.0)  # one near-stall
         assert estimator.estimate() < 50.0
 
-    def test_ignores_degenerate_samples(self):
+    def test_ignores_zero_byte_samples(self):
         estimator = HarmonicMeanEstimator()
         estimator.observe(0, 1.0)
-        estimator.observe(100, 0.0)
         assert estimator.estimate() is None
+
+    def test_zero_duration_clamped_not_dropped(self):
+        """An instant transfer is a very-fast sample, not no sample —
+        dropping it would leave the estimator blind on fast links."""
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(100, 0.0)
+        assert estimator.estimate() == pytest.approx(100 / MIN_TRANSFER_SECONDS)
 
     def test_reset(self):
         estimator = HarmonicMeanEstimator()
@@ -93,6 +100,42 @@ class TestLastSample:
         estimator = LastSampleEstimator()
         estimator.observe(100, 1.0)
         estimator.observe(500, 1.0)
+        assert estimator.estimate() == pytest.approx(500.0)
+
+
+class TestZeroDurationClamp:
+    """All three estimators clamp instant transfers to the 1 ms floor."""
+
+    @pytest.mark.parametrize(
+        "estimator_factory",
+        [HarmonicMeanEstimator, EwmaEstimator, LastSampleEstimator],
+    )
+    def test_instant_transfer_still_counts(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.observe(2000, 0.0)
+        assert estimator.estimate() == pytest.approx(2000 / MIN_TRANSFER_SECONDS)
+
+    @pytest.mark.parametrize(
+        "estimator_factory",
+        [HarmonicMeanEstimator, EwmaEstimator, LastSampleEstimator],
+    )
+    def test_negative_duration_clamped(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.observe(2000, -1.0)
+        assert estimator.estimate() == pytest.approx(2000 / MIN_TRANSFER_SECONDS)
+
+    @pytest.mark.parametrize(
+        "estimator_factory",
+        [HarmonicMeanEstimator, EwmaEstimator, LastSampleEstimator],
+    )
+    def test_zero_bytes_still_ignored(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.observe(0, 0.0)
+        assert estimator.estimate() is None
+
+    def test_durations_above_floor_unaffected(self):
+        estimator = LastSampleEstimator()
+        estimator.observe(1000, 2.0)
         assert estimator.estimate() == pytest.approx(500.0)
 
 
