@@ -7,12 +7,15 @@ The public API in one import::
         Quality, TileGrid, Viewport,
         NaiveFullQuality, UniformAdaptive, PredictiveTilingPolicy,
         ConstantBandwidth, HeadMovementModel,
+        FaultPlan, FaultRule, RetryPolicy,
     )
 
 See the README for a quickstart and ``DESIGN.md`` for the system map.
 """
 
+from repro.chaos import FaultPlan, FaultRule
 from repro.core.query import Scan
+from repro.core.resilience import RetryPolicy
 from repro.core.server import VisualCloud
 from repro.core.storage import IngestConfig
 from repro.core.streamer import SessionConfig
@@ -29,9 +32,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConstantBandwidth",
+    "FaultPlan",
+    "FaultRule",
     "Frame",
     "HeadMovementModel",
     "IngestConfig",
+    "RetryPolicy",
     "MetricsRegistry",
     "NaiveFullQuality",
     "Orientation",

@@ -1,0 +1,455 @@
+"""The chaos scenario runner: whole sessions under a fault plan, judged
+by machine-checkable invariants.
+
+A :class:`Scenario` is a self-contained JSON artifact: what to ingest,
+how many viewers to simulate (single links or one shared link), the
+:class:`~repro.chaos.faults.FaultPlan` to inject, and the invariant
+thresholds to enforce. :class:`ScenarioRunner` replays it into an
+:class:`InvariantReport` whose JSON is *deterministic for a given seed*
+— two runs produce identical reports, including the exact degradation
+event sequence — so canned scenarios work as CI regression gates.
+
+Invariants checked on every run:
+
+* ``no_uncaught_exceptions`` — every session terminates with a QoE
+  report; nothing escapes the resilience layer;
+* ``sessions_complete`` — every session played every window;
+* ``visible_tile_coverage`` — every window shipped *some* decodable
+  rung for every tile the viewer actually looked at;
+* ``no_silent_upgrade`` — delivered quality never exceeds the requested
+  (budgeted) rung, in the quality maps and in every event;
+* ``qoe_floor`` — optional stall-time and visible-coverage thresholds;
+* ``expected_degradations`` — optional: the plan was hostile enough
+  that at least one degradation event was recorded (guards against a
+  vacuous pass where faults never fired);
+* ``cache_disk_consistency`` — every byte in the segment cache equals
+  its on-disk file (no stale or corrupt bytes survived invalidation);
+* ``metrics_events_agree`` — the ``obs`` counters and the QoE event
+  trail tell the same story, exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.chaos.faults import FaultPlan
+from repro.chaos.wrappers import ChaosSegmentCache, ChaosStorageManager
+from repro.core.resilience import RetryPolicy
+from repro.core.server import VisualCloud
+from repro.core.storage import IngestConfig
+from repro.core.streamer import SessionConfig, Streamer
+from repro.core.multisession import SharedLinkStreamer
+from repro.geometry.grid import TileGrid
+from repro.stream.abr import NaiveFullQuality, PredictiveTilingPolicy, UniformAdaptive
+from repro.stream.network import ConstantBandwidth, SimulatedLink
+from repro.video.quality import Quality
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import synthetic_video
+
+POLICIES = {
+    "naive": NaiveFullQuality,
+    "uniform": UniformAdaptive,
+    "predictive": PredictiveTilingPolicy,
+}
+
+
+@dataclass
+class Scenario:
+    """One replayable chaos experiment, loadable from JSON."""
+
+    name: str
+    plan: FaultPlan
+    seed: int = 0
+    #: Synthetic source video parameters (see workloads.videos).
+    video: dict = field(default_factory=dict)
+    #: Session shape: count, mode ("single" | "shared"), bandwidth, ...
+    sessions: dict = field(default_factory=dict)
+    #: RetryPolicy overrides: attempts, base_delay, multiplier, max_delay.
+    retry: dict = field(default_factory=dict)
+    #: Invariant thresholds: max_stall_seconds, min_visible_fraction,
+    #: expect_degradations.
+    invariants: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "video": dict(self.video),
+            "sessions": dict(self.sessions),
+            "retry": dict(self.retry),
+            "invariants": dict(self.invariants),
+            "plan": self.plan.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, seed: int | None = None) -> "Scenario":
+        effective_seed = data.get("seed", 0) if seed is None else seed
+        return cls(
+            name=data.get("name", "scenario"),
+            seed=effective_seed,
+            video=dict(data.get("video", {})),
+            sessions=dict(data.get("sessions", {})),
+            retry=dict(data.get("retry", {})),
+            invariants=dict(data.get("invariants", {})),
+            plan=FaultPlan.from_json(data.get("plan", {}), seed=effective_seed),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str, seed: int | None = None) -> "Scenario":
+        return cls.from_json(
+            json.loads(Path(path).read_text(encoding="utf-8")), seed=seed
+        )
+
+    # -- resolved knobs -------------------------------------------------------
+
+    def ingest_config(self) -> IngestConfig:
+        video = self.video
+        rows, cols = video.get("grid", [2, 2])
+        qualities = tuple(
+            Quality.from_label(label)
+            for label in video.get("qualities", ["high", "low"])
+        )
+        return IngestConfig(
+            grid=TileGrid(int(rows), int(cols)),
+            qualities=qualities,
+            gop_frames=int(video.get("gop_frames", 4)),
+            fps=float(video.get("fps", 4.0)),
+            workers=1,  # serial ingest: one fewer moving part to replay
+        )
+
+    def frames(self):
+        video = self.video
+        return synthetic_video(
+            video.get("profile", "venice"),
+            width=int(video.get("width", 64)),
+            height=int(video.get("height", 32)),
+            fps=float(video.get("fps", 4.0)),
+            duration=float(video.get("duration", 2.0)),
+            seed=self.seed,
+        )
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            attempts=int(self.retry.get("attempts", 3)),
+            base_delay=float(self.retry.get("base_delay", 0.0)),
+            multiplier=float(self.retry.get("multiplier", 2.0)),
+            max_delay=float(self.retry.get("max_delay", 0.25)),
+        )
+
+
+@dataclass
+class InvariantCheck:
+    """One invariant's verdict."""
+
+    name: str
+    ok: bool
+    details: str = ""
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "details": self.details}
+
+
+@dataclass
+class InvariantReport:
+    """The runner's output: verdicts, the event trail, and fault stats."""
+
+    scenario: str
+    seed: int
+    checks: list[InvariantCheck]
+    events: list[dict]
+    sessions: list[dict]
+    metrics: dict
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "checks": [check.to_json() for check in self.checks],
+            "events": self.events,
+            "sessions": self.sessions,
+            "metrics": self.metrics,
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+class ScenarioRunner:
+    """Replays a :class:`Scenario` into an :class:`InvariantReport`.
+
+    ``root`` optionally pins the database directory (a temporary one is
+    used — and cleaned up — otherwise). The runner never touches an
+    existing catalog: it always ingests the scenario's synthetic video
+    into a fresh directory.
+    """
+
+    VIDEO_NAME = "chaos-clip"
+
+    def __init__(self, scenario: Scenario, root: Path | str | None = None) -> None:
+        self.scenario = scenario
+        self.root = root
+
+    def run(self) -> InvariantReport:
+        if self.root is not None:
+            return self._run_in(Path(self.root))
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            return self._run_in(Path(tmp))
+
+    # -- internals ------------------------------------------------------------
+
+    def _run_in(self, root: Path) -> InvariantReport:
+        scenario = self.scenario
+        db = VisualCloud(root / "db")
+        db.ingest(self.VIDEO_NAME, scenario.frames(), scenario.ingest_config())
+        meta = db.meta(self.VIDEO_NAME)
+
+        scenario.plan.reset()
+        chaos_storage = ChaosStorageManager(db.storage, scenario.plan)
+        if db.storage.segment_cache is not None and any(
+            rule.target == "cache" for rule in scenario.plan.rules
+        ):
+            db.storage.segment_cache = ChaosSegmentCache(
+                db.storage.segment_cache, scenario.plan
+            )
+
+        sessions = scenario.sessions
+        count = int(sessions.get("count", 2))
+        mode = sessions.get("mode", "single")
+        bandwidth = float(sessions.get("bandwidth", 50_000.0))
+        policy_name = sessions.get("policy", "predictive")
+        predictor = sessions.get("predictor", "static")
+        margin = int(sessions.get("margin", 1))
+        retry_policy = scenario.retry_policy()
+        population = ViewerPopulation(seed=scenario.seed)
+
+        def make_config() -> SessionConfig:
+            return SessionConfig(
+                policy=POLICIES[policy_name](),
+                bandwidth=scenario.plan.apply_to_bandwidth(ConstantBandwidth(bandwidth)),
+                predictor=predictor,
+                margin=margin,
+                retry=retry_policy,
+            )
+
+        reports: list = [None] * count
+        failures: list[tuple[int, str]] = []
+        if mode == "shared":
+            streamer = SharedLinkStreamer(chaos_storage, db.prediction, registry=db.metrics)
+            link = SimulatedLink(
+                scenario.plan.apply_to_bandwidth(ConstantBandwidth(bandwidth))
+            )
+            specs = [
+                (
+                    self.VIDEO_NAME,
+                    population.trace(viewer, duration=meta.duration, rate=10.0),
+                    make_config(),
+                )
+                for viewer in range(count)
+            ]
+            try:
+                reports = streamer.serve_all(specs, link)
+            except Exception as error:  # noqa: BLE001 — escapes ARE the finding
+                failures = [
+                    (viewer, f"{type(error).__name__}: {error}")
+                    for viewer in range(count)
+                ]
+                reports = [None] * count
+        else:
+            streamer = Streamer(chaos_storage, db.prediction, registry=db.metrics)
+            for viewer in range(count):
+                trace = population.trace(viewer, duration=meta.duration, rate=10.0)
+                try:
+                    reports[viewer] = streamer.serve(
+                        self.VIDEO_NAME, trace, make_config()
+                    )
+                except Exception as error:  # noqa: BLE001
+                    failures.append((viewer, f"{type(error).__name__}: {error}"))
+
+        return self._judge(db, meta, reports, failures)
+
+    def _judge(self, db, meta, reports, failures) -> InvariantReport:
+        scenario = self.scenario
+        checks: list[InvariantCheck] = []
+        completed = [report for report in reports if report is not None]
+
+        checks.append(
+            InvariantCheck(
+                "no_uncaught_exceptions",
+                ok=not failures,
+                details="; ".join(f"session {i}: {msg}" for i, msg in failures),
+            )
+        )
+
+        incomplete = [
+            index
+            for index, report in enumerate(reports)
+            if report is not None and len(report.records) != meta.gop_count
+        ]
+        checks.append(
+            InvariantCheck(
+                "sessions_complete",
+                ok=not incomplete and not failures,
+                details=f"sessions with missing windows: {incomplete}" if incomplete else "",
+            )
+        )
+
+        uncovered = []
+        for index, report in enumerate(reports):
+            if report is None:
+                continue
+            for record in report.records:
+                for tile in sorted(record.visible_tiles):
+                    if tile not in record.quality_map:
+                        uncovered.append((index, record.window, tile))
+        checks.append(
+            InvariantCheck(
+                "visible_tile_coverage",
+                ok=not uncovered,
+                details=(
+                    f"visible tiles with no delivered rung: {uncovered[:10]}"
+                    if uncovered
+                    else ""
+                ),
+            )
+        )
+
+        upgrades = []
+        for index, report in enumerate(reports):
+            if report is None:
+                continue
+            for record in report.records:
+                requested_map = record.requested_map or {}
+                for tile, delivered in record.quality_map.items():
+                    requested = requested_map.get(tile)
+                    if requested is not None and delivered > requested:
+                        upgrades.append((index, record.window, tile))
+                for event in record.events:
+                    if event.delivered is not None and event.delivered > event.requested:
+                        upgrades.append((index, event.window, event.tile))
+        checks.append(
+            InvariantCheck(
+                "no_silent_upgrade",
+                ok=not upgrades,
+                details=f"tiles above the requested rung: {upgrades[:10]}" if upgrades else "",
+            )
+        )
+
+        checks.append(self._check_qoe_floor(completed))
+        if scenario.invariants.get("expect_degradations"):
+            total = sum(report.degradation_count for report in completed)
+            checks.append(
+                InvariantCheck(
+                    "expected_degradations",
+                    ok=total >= 1,
+                    details="" if total else "plan injected no effective degradation",
+                )
+            )
+        checks.append(self._check_cache_consistency(db))
+        checks.append(self._check_metrics_agree(db, completed))
+
+        events = []
+        for index, report in enumerate(reports):
+            if report is None:
+                continue
+            for event in report.degradation_events:
+                events.append({"session": index, **event.to_json()})
+        session_summaries = [
+            {"session": index, **report.summary()}
+            for index, report in enumerate(reports)
+            if report is not None
+        ]
+        metrics = {
+            "faults_injected": dict(sorted(scenario.plan.injected.items())),
+            "storage_calls": scenario.plan.calls("storage"),
+            "cache_calls": scenario.plan.calls("cache"),
+            "retries": db.metrics.counter("stream.retries").total(),
+            "degradations": db.metrics.counter("stream.degradations").total(),
+            "tiles_skipped": db.metrics.counter("stream.tiles_skipped").total(),
+        }
+        return InvariantReport(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            checks=checks,
+            events=events,
+            sessions=session_summaries,
+            metrics=metrics,
+        )
+
+    def _check_qoe_floor(self, reports) -> InvariantCheck:
+        limits = self.scenario.invariants
+        problems = []
+        max_stall = limits.get("max_stall_seconds")
+        min_visible = limits.get("min_visible_fraction")
+        for index, report in enumerate(reports):
+            if max_stall is not None and report.stall_time > float(max_stall):
+                problems.append(
+                    f"session {index} stalled {report.stall_time:.3f}s > {max_stall}"
+                )
+            if min_visible is not None:
+                visible = delivered = 0
+                for record in report.records:
+                    visible += len(record.visible_tiles)
+                    delivered += sum(
+                        1 for tile in record.visible_tiles if tile in record.quality_map
+                    )
+                fraction = delivered / visible if visible else 1.0
+                if fraction < float(min_visible):
+                    problems.append(
+                        f"session {index} delivered {fraction:.3f} of visible "
+                        f"tile-windows < {min_visible}"
+                    )
+        return InvariantCheck("qoe_floor", ok=not problems, details="; ".join(problems))
+
+    def _check_cache_consistency(self, db) -> InvariantCheck:
+        cache = db.storage.segment_cache
+        if cache is None:
+            return InvariantCheck("cache_disk_consistency", ok=True, details="cache disabled")
+        stale = []
+        for key, payload in cache.items():
+            if not (isinstance(key, tuple) and len(key) == 5):
+                continue
+            name, gop, tile, quality, file_version = key
+            path = db.storage.catalog.segment_path(name, gop, tile, quality, file_version)
+            if not path.exists() or path.read_bytes() != payload:
+                stale.append((name, gop, tile, quality.label))
+        return InvariantCheck(
+            "cache_disk_consistency",
+            ok=not stale,
+            details=f"cached bytes diverge from disk: {stale[:10]}" if stale else "",
+        )
+
+    def _check_metrics_agree(self, db, reports) -> InvariantCheck:
+        event_degrades = sum(
+            1
+            for report in reports
+            for event in report.degradation_events
+            if event.kind == "degrade"
+        )
+        event_skips = sum(
+            1
+            for report in reports
+            for event in report.degradation_events
+            if event.kind == "skip"
+        )
+        counted_degrades = db.metrics.counter("stream.degradations").total()
+        counted_skips = db.metrics.counter("stream.tiles_skipped").total()
+        problems = []
+        if counted_degrades != event_degrades:
+            problems.append(
+                f"stream.degradations={counted_degrades} but {event_degrades} degrade events"
+            )
+        if counted_skips != event_skips:
+            problems.append(
+                f"stream.tiles_skipped={counted_skips} but {event_skips} skip events"
+            )
+        return InvariantCheck(
+            "metrics_events_agree", ok=not problems, details="; ".join(problems)
+        )

@@ -1,0 +1,162 @@
+"""Fault-injecting views over storage and the segment cache.
+
+Both wrappers are pure delegators with one interception point, so any
+code written against :class:`~repro.core.storage.StorageManager` or
+:class:`~repro.core.cache.LruSegmentCache` runs unmodified under chaos —
+the streamers, the query executor, and the scenario runner all take the
+wrapped object where they took the real one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos.faults import FaultDecision, FaultPlan
+from repro.core.errors import (
+    SegmentCorruptError,
+    SegmentNotFoundError,
+    SegmentReadTimeout,
+    TransientSegmentError,
+)
+from repro.video.quality import Quality
+from repro.video.tiles import TiledGop
+
+
+class ChaosStorageManager:
+    """A storage manager whose ``read_segment`` obeys a fault plan.
+
+    Every read consults the plan *before* touching the real store; a
+    fired fault surfaces as the matching error from the storage error
+    contract (``missing`` → :class:`SegmentNotFoundError`, ``corrupt`` →
+    :class:`SegmentCorruptError`, ``slow`` → :class:`SegmentReadTimeout`,
+    ``flaky`` → :class:`TransientSegmentError`). ``read_window`` is
+    reimplemented through the faulty ``read_segment`` so window assembly
+    cannot bypass injection. Everything else (ingest, metadata,
+    manifests, vacuum, metrics) delegates to the wrapped manager.
+
+    ``slow_tolerance`` is the simulated read-latency budget: a slow
+    fault whose ``delay`` is within the budget merely delays (optionally
+    sleeping for real when ``simulate_sleep`` is set — off by default to
+    keep harness runs fast) and then serves the bytes; beyond it, the
+    read times out.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        slow_tolerance: float = 0.0,
+        simulate_sleep: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.slow_tolerance = slow_tolerance
+        self.simulate_sleep = simulate_sleep
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def _raise_for(self, decision: FaultDecision, context: str) -> None:
+        if decision.kind == "missing":
+            raise SegmentNotFoundError(f"injected fault: segment missing ({context})")
+        if decision.kind == "corrupt":
+            raise SegmentCorruptError(
+                f"injected fault: segment failed validation ({context})"
+            )
+        if decision.kind == "slow":
+            raise SegmentReadTimeout(
+                f"injected fault: read exceeded {self.slow_tolerance:.3f}s "
+                f"budget by {decision.delay:.3f}s ({context})"
+            )
+        if decision.kind == "flaky":
+            raise TransientSegmentError(f"injected fault: transient I/O error ({context})")
+        raise AssertionError(f"storage wrapper cannot inject {decision.kind!r}")
+
+    def read_segment(
+        self,
+        name: str,
+        gop: int,
+        tile: tuple[int, int],
+        quality: Quality,
+        version: int | None = None,
+    ) -> bytes:
+        meta = self.inner.meta(name, version)
+        media_time = meta.gop_start_time(gop) if 0 <= gop < meta.gop_count else None
+        decision = self.plan.decide(
+            name, gop, tile, quality.label, media_time=media_time, target="storage"
+        )
+        if decision is not None:
+            context = f"{name!r} gop={gop} tile={tile} quality={quality.label}"
+            if decision.kind == "slow" and decision.delay <= self.slow_tolerance:
+                if self.simulate_sleep:
+                    time.sleep(min(decision.delay, 0.05))
+            else:
+                self._raise_for(decision, context)
+        return self.inner.read_segment(name, gop, tile, quality, version)
+
+    def read_window(
+        self,
+        name: str,
+        gop: int,
+        quality_map: dict[tuple[int, int], Quality],
+        version: int | None = None,
+    ) -> TiledGop:
+        meta = self.inner.meta(name, version)
+        payloads = {
+            tile: self.read_segment(name, gop, tile, quality, version)
+            for tile, quality in quality_map.items()
+        }
+        return TiledGop(
+            width=meta.width,
+            height=meta.height,
+            grid=meta.grid,
+            frame_count=meta.gop_frame_counts[gop],
+            payloads=payloads,
+        )
+
+    def decode_window(
+        self, name: str, gop: int, quality: Quality, version: int | None = None
+    ):
+        meta = self.inner.meta(name, version)
+        quality_map = {tile: quality for tile in meta.grid.tiles()}
+        return self.read_window(name, gop, quality_map, version).decode()
+
+
+class ChaosSegmentCache:
+    """A segment cache whose lookups obey a fault plan.
+
+    The only cache-level fault is ``evict``: the key is invalidated the
+    instant before the lookup, forcing a miss (and, under concurrency,
+    exercising the invalidation fence against whatever load is already
+    in flight). Keys that do not look like storage segment keys —
+    ``(name, gop, tile, quality, version)`` tuples — bypass the plan.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def _decide(self, key) -> FaultDecision | None:
+        if not (isinstance(key, tuple) and len(key) >= 4):
+            return None
+        name, gop, tile, quality = key[0], key[1], key[2], key[3]
+        label = quality.label if isinstance(quality, Quality) else str(quality)
+        return self.plan.decide(name, gop, tile, label, target="cache")
+
+    def get_or_load(self, key, loader):
+        decision = self._decide(key)
+        if decision is not None and decision.kind == "evict":
+            self.inner.invalidate(key)
+        return self.inner.get_or_load(key, loader)
+
+    def get(self, key):
+        decision = self._decide(key)
+        if decision is not None and decision.kind == "evict":
+            self.inner.invalidate(key)
+        return self.inner.get(key)

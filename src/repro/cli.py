@@ -194,6 +194,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write to this file instead of stdout"
     )
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay a chaos scenario (fault-injected streaming under "
+        "invariant checks); exits nonzero on any violation",
+    )
+    chaos.add_argument("--plan", required=True, help="scenario JSON file")
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario's seed (same seed => identical report)",
+    )
+    chaos.add_argument(
+        "--output", default=None, help="write the invariant report JSON here"
+    )
+
     return parser
 
 
@@ -349,6 +365,35 @@ def _command_metrics(db: VisualCloud, args) -> None:
         print(rendered)
 
 
+def _command_chaos(db: VisualCloud, args) -> int:
+    # The scenario ingests its own synthetic video into a throwaway
+    # directory; the --root database is deliberately left untouched.
+    from repro.chaos import Scenario, ScenarioRunner
+
+    scenario = Scenario.load(Path(args.plan), seed=args.seed)
+    report = ScenarioRunner(scenario).run()
+    rendered = report.dumps()
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    failed = [check.name for check in report.checks if not check.ok]
+    if failed:
+        print(
+            f"chaos: scenario {scenario.name!r} (seed {scenario.seed}) VIOLATED: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos: scenario {scenario.name!r} (seed {scenario.seed}) ok — "
+        f"{len(report.checks)} invariants held, "
+        f"{len(report.events)} degradation events",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _command_stats(db: VisualCloud, args) -> None:
     snapshot = db.stats()
     for name, info in snapshot["videos"].items():
@@ -382,6 +427,7 @@ _COMMANDS = {
     "vacuum": _command_vacuum,
     "stats": _command_stats,
     "metrics": _command_metrics,
+    "chaos": _command_chaos,
 }
 
 
@@ -389,7 +435,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     db = VisualCloud(Path(args.root))
     try:
-        _COMMANDS[args.command](db, args)
+        result = _COMMANDS[args.command](db, args)
     except VisualCloudError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -397,7 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         # Output was piped into a consumer that closed early (e.g. head);
         # that is the consumer's prerogative, not an error.
         return 0
-    return 0
+    return int(result or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

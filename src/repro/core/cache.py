@@ -130,6 +130,14 @@ class LruSegmentCache:
         self._gauge_entries.set(len(self._entries))
         self._gauge_bytes.set(self._size)
 
+    def items(self) -> list[tuple[Hashable, bytes]]:
+        """A point-in-time snapshot of every (key, payload) pair, in LRU
+        order (least recent first). Does not touch recency — built for
+        audits (the chaos runner's stale-byte invariant walks it against
+        the on-disk files), not for serving reads."""
+        with self._lock:
+            return list(self._entries.items())
+
     def get(self, key: Hashable) -> bytes | None:
         """The cached payload, refreshed to most-recently-used; else None."""
         with self._lock:

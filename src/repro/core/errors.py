@@ -16,7 +16,30 @@ class CatalogError(VisualCloudError):
 
 
 class SegmentNotFoundError(VisualCloudError):
-    """A (window, tile, quality) segment is absent from the store."""
+    """A (window, tile, quality) segment is absent from the store.
+
+    This is the storage boundary's error contract: *any* failure to
+    produce a segment's bytes — index miss, deleted file, OS-level read
+    error, or validation failure — surfaces as this type (or a subclass),
+    never as a raw ``FileNotFoundError``/``OSError``.
+    """
+
+
+class SegmentCorruptError(SegmentNotFoundError):
+    """A segment's bytes are present but fail validation (wrong size,
+    damaged framing). A subclass of :class:`SegmentNotFoundError` because
+    for a reader the effect is the same: the requested bytes cannot be
+    served — but resilience layers may report the two differently."""
+
+
+class TransientSegmentError(VisualCloudError):
+    """A segment read failed in a way that is expected to heal (I/O
+    hiccup, overloaded backend). Delivery retries these with backoff; a
+    read that keeps failing is escalated to quality degradation."""
+
+
+class SegmentReadTimeout(TransientSegmentError):
+    """A segment read exceeded the backend's latency budget."""
 
 
 class IngestError(VisualCloudError):

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.resilience import read_window_resilient
 from repro.core.storage import StorageManager
 from repro.core.predictor import PredictionService
 from repro.core.streamer import SessionConfig, Streamer
@@ -273,8 +274,20 @@ class SharedLinkStreamer:
         ).observe(time.perf_counter() - decision_started, mode="shared")
         # Assemble the payload the wire carries: real segment reads through
         # the shared cache, which is how concurrent viewers of the same
-        # content amortise storage work.
-        self.storage.read_window(state.name, window, quality_map)
+        # content amortise storage work. Resilient, exactly as in the
+        # single-session streamer: retry transient errors, degrade or
+        # skip per tile rather than aborting every viewer on this link.
+        requested_map = quality_map
+        result = read_window_resilient(
+            self.storage,
+            manifest,
+            state.name,
+            window,
+            requested_map,
+            policy=config.retry,
+            metrics=self.metrics,
+        )
+        quality_map = result.quality_map
         size = manifest.window_size(window, quality_map)
         transfer_start = max(request_time, link.busy_until)
         delivered = link.transfer(size, request_time)
@@ -328,6 +341,8 @@ class SharedLinkStreamer:
                 predicted_tiles=predicted,
                 ladder_best=manifest.best_quality,
                 visible_tiles=visible,
+                requested_map=requested_map,
+                events=result.events,
             )
         )
         state.next_window += 1

@@ -21,7 +21,12 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.core.catalog import Catalog
-from repro.core.errors import CatalogError, IngestError, SegmentNotFoundError
+from repro.core.errors import (
+    CatalogError,
+    IngestError,
+    SegmentCorruptError,
+    SegmentNotFoundError,
+)
 from repro.geometry.grid import TileGrid
 from repro.obs import MetricsRegistry
 from repro.stream.dash import Manifest, SegmentKey
@@ -694,9 +699,21 @@ class StorageManager:
         path = self.catalog.segment_path(name, gop, tile, quality, entry.file_version)
 
         def load() -> bytes:
-            data = path.read_bytes()
-            if len(data) != entry.size:
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError as error:
+                # The index said the segment exists but the file is gone —
+                # keep the storage boundary's error contract (see
+                # core/errors.py) instead of leaking the OS exception.
                 raise SegmentNotFoundError(
+                    f"segment file {path.name} of {name!r} is missing from disk"
+                ) from error
+            except OSError as error:
+                raise SegmentNotFoundError(
+                    f"segment file {path.name} of {name!r} could not be read: {error}"
+                ) from error
+            if len(data) != entry.size:
+                raise SegmentCorruptError(
                     f"segment {path.name} is {len(data)} bytes, index says {entry.size}"
                 )
             return data

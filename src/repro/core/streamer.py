@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.predictor import PredictionService
+from repro.core.resilience import RetryPolicy, read_window_resilient
 from repro.core.storage import StorageManager
 from repro.obs import MetricsRegistry
 from repro.geometry.viewport import Orientation, Viewport
@@ -58,6 +59,10 @@ class SessionConfig:
     #: model's true rate) — the default the estimation ablation compares
     #: realistic estimators against.
     estimator: "ThroughputEstimator | None" = None
+    #: Bounded retry-with-backoff for transient segment reads; None uses
+    #: the module default (3 attempts, no wall-clock sleep — see
+    #: :mod:`repro.core.resilience`).
+    retry: RetryPolicy | None = None
 
 
 class Streamer:
@@ -150,7 +155,19 @@ class Streamer:
             ).observe(time.perf_counter() - decision_started, mode="single")
             # Assemble the payload the wire carries — real segment reads
             # through the cache, so storage metrics reflect delivery.
-            self.storage.read_window(name, window, quality_map)
+            # Resilient: transient read errors retry, persistent ones
+            # degrade down the tile's stored ladder or skip the tile.
+            requested_map = quality_map
+            result = read_window_resilient(
+                self.storage,
+                manifest,
+                name,
+                window,
+                requested_map,
+                policy=config.retry,
+                metrics=self.metrics,
+            )
+            quality_map = result.quality_map
             size = manifest.window_size(window, quality_map)
             transfer_start = max(request_time, link.busy_until)
             delivered = link.transfer(size, request_time)
@@ -198,6 +215,8 @@ class Streamer:
                 predicted_tiles=predicted,
                 ladder_best=manifest.best_quality,
                 visible_tiles=visible,
+                requested_map=requested_map,
+                events=result.events,
             )
             if config.evaluate_quality:
                 record.viewport_psnr = self._probe_window(

@@ -135,6 +135,55 @@ class TraceBandwidth(BandwidthModel):
         return float(self.times[index])
 
 
+class BlackoutBandwidth(BandwidthModel):
+    """A base model with scheduled near-total outages.
+
+    During each ``(start, end)`` blackout interval the link's capacity
+    collapses to ``floor_rate`` (bytes/s) — not zero, so transfers still
+    terminate, but slow enough that anything mid-flight effectively
+    stalls. This is the chaos harness's link fault: deterministic,
+    piecewise-constant, and composable with any base model.
+    """
+
+    def __init__(
+        self,
+        base: BandwidthModel,
+        blackouts: tuple[tuple[float, float], ...],
+        floor_rate: float = 1.0,
+    ) -> None:
+        if floor_rate <= 0:
+            raise ValueError(f"floor rate must be positive, got {floor_rate}")
+        intervals = tuple((float(start), float(end)) for start, end in blackouts)
+        for start, end in intervals:
+            if end <= start:
+                raise ValueError(f"empty blackout interval [{start}, {end})")
+        if list(intervals) != sorted(intervals):
+            raise ValueError("blackouts must be sorted by start time")
+        for (_, prev_end), (next_start, _) in zip(intervals, intervals[1:]):
+            if next_start < prev_end:
+                raise ValueError("blackout intervals must not overlap")
+        self.base = base
+        self.blackouts = intervals
+        self.floor_rate = floor_rate
+
+    def _blacked_out(self, time: float) -> bool:
+        return any(start <= time < end for start, end in self.blackouts)
+
+    def rate_at(self, time: float) -> float:
+        if self._blacked_out(time):
+            return self.floor_rate
+        return self.base.rate_at(time)
+
+    def next_change(self, time: float) -> float:
+        boundaries = [self.base.next_change(time)]
+        for start, end in self.blackouts:
+            if start > time:
+                boundaries.append(start)
+            if end > time:
+                boundaries.append(end)
+        return min(boundaries)
+
+
 class SimulatedLink:
     """A sequential link: transfers occupy the link one at a time.
 

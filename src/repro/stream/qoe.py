@@ -15,6 +15,41 @@ from dataclasses import dataclass, field
 from repro.video.quality import Quality
 
 
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One resilience action taken while assembling a delivery window.
+
+    ``kind`` is one of:
+
+    * ``"retry"`` — a transient read error was retried and eventually
+      succeeded at the requested quality;
+    * ``"degrade"`` — the requested rung could not be read and a lower
+      stored rung shipped instead (``delivered < requested``, never
+      above: degradation must not silently upgrade a budgeted request);
+    * ``"skip"`` — no rung of the tile's ladder could be read; the window
+      shipped without the tile (``delivered is None``).
+    """
+
+    window: int
+    tile: tuple[int, int]
+    requested: Quality
+    delivered: Quality | None
+    kind: str
+    attempts: int  # total read attempts spent on this tile
+    reason: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "window": self.window,
+            "tile": list(self.tile),
+            "requested": self.requested.label,
+            "delivered": None if self.delivered is None else self.delivered.label,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
 @dataclass
 class WindowRecord:
     """Everything that happened to one delivery window of one session."""
@@ -31,6 +66,12 @@ class WindowRecord:
     ladder_best: Quality
     visible_tiles: set[tuple[int, int]] = field(default_factory=set)
     viewport_psnr: float | None = None  # filled by the quality probe
+    #: What the policy asked for (post-resolve), before any resilience
+    #: fallback. Equal to ``quality_map`` plus skipped tiles on a clean
+    #: window; the delta is exactly what ``events`` records.
+    requested_map: dict[tuple[int, int], Quality] | None = None
+    #: Retries, degradations, and skips charged to this window.
+    events: list[DegradationEvent] = field(default_factory=list)
 
     @property
     def visible_at_best(self) -> float:
@@ -104,6 +145,23 @@ class QoEReport:
                     switches += 1
         return switches
 
+    @property
+    def degradation_events(self) -> list[DegradationEvent]:
+        """Every resilience event of the session, in delivery order."""
+        return [event for record in self.records for event in record.events]
+
+    @property
+    def degradation_count(self) -> int:
+        """Tiles that shipped below the requested rung or not at all."""
+        return sum(
+            1 for event in self.degradation_events if event.kind in ("degrade", "skip")
+        )
+
+    @property
+    def retry_count(self) -> int:
+        """Transient read errors healed by retry (requested rung shipped)."""
+        return sum(1 for event in self.degradation_events if event.kind == "retry")
+
     def bytes_saved_vs(self, baseline: "QoEReport") -> float:
         """Fractional byte reduction relative to a baseline session."""
         if baseline.total_bytes == 0:
@@ -120,4 +178,6 @@ class QoEReport:
             "visible_at_best": round(self.mean_visible_at_best, 4),
             "viewport_psnr_db": round(self.mean_viewport_psnr, 2),
             "quality_switches": self.quality_switches,
+            "degradations": self.degradation_count,
+            "retries": self.retry_count,
         }
