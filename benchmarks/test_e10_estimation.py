@@ -54,7 +54,7 @@ def test_e10_throughput_estimation(benchmark, bench_db, naive_rate):
                 margin=0,
                 estimator=factory(),
             )
-            report = bench_db.serve(VIDEO, trace, config)
+            report = bench_db.serve(VIDEO, (trace, config))
             total_stall += report.stall_time
             total_bytes += report.total_bytes
             at_best += report.mean_visible_at_best / len(traces)

@@ -82,13 +82,15 @@ def test_e11_popularity_storage(benchmark, tmp_path):
         for trace in held_out:
             report = db.serve(
                 name,
-                trace,
-                SessionConfig(
-                    policy=PredictiveTilingPolicy(),
-                    bandwidth=ConstantBandwidth(rate),
-                    predictor="static",
-                    margin=0,
-                    evaluate_quality=True,
+                (
+                    trace,
+                    SessionConfig(
+                        policy=PredictiveTilingPolicy(),
+                        bandwidth=ConstantBandwidth(rate),
+                        predictor="static",
+                        margin=0,
+                        evaluate_quality=True,
+                    ),
                 ),
             )
             at_best += report.mean_visible_at_best / len(held_out)

@@ -40,7 +40,7 @@ def run_policy(db, video, trace, rate, label, policy_factory, overrides):
         predictor=overrides.get("predictor", "static"),
         margin=overrides.get("margin", 1),
     )
-    return db.serve(video, trace, config)
+    return db.serve(video, (trace, config))
 
 
 @pytest.mark.benchmark(group="e1")

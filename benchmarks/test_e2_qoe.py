@@ -43,7 +43,7 @@ def run(db, trace, rate, factory, overrides):
         margin=overrides.get("margin", 1),
         evaluate_quality=True,
     )
-    return db.serve(VIDEO, trace, config)
+    return db.serve(VIDEO, (trace, config))
 
 
 @pytest.mark.benchmark(group="e2")

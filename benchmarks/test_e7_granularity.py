@@ -51,17 +51,18 @@ def run_config(db, name, trace, gop_frames, grid):
     )
     naive = db.serve(
         name,
-        trace,
-        SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(rate)),
+        (trace, SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(rate))),
     )
     predictive = db.serve(
         name,
-        trace,
-        SessionConfig(
-            policy=PredictiveTilingPolicy(),
-            bandwidth=ConstantBandwidth(rate),
-            predictor="static",
-            margin=0,
+        (
+            trace,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(rate),
+                predictor="static",
+                margin=0,
+            ),
         ),
     )
     return naive, predictive

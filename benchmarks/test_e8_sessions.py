@@ -33,7 +33,7 @@ def serve_population(db, traces, rate):
             predictor="static",
             margin=0,
         )
-        reports.append(db.serve(VIDEO, trace, config))
+        reports.append(db.serve(VIDEO, (trace, config)))
     return reports
 
 

@@ -53,18 +53,19 @@ def run_ladder(db, name, qualities, trace):
     )
     naive = db.serve(
         name,
-        trace,
-        SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(rate)),
+        (trace, SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(rate))),
     )
     predictive = db.serve(
         name,
-        trace,
-        SessionConfig(
-            policy=PredictiveTilingPolicy(),
-            bandwidth=ConstantBandwidth(rate),
-            predictor="static",
-            margin=0,
-            evaluate_quality=True,
+        (
+            trace,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(rate),
+                predictor="static",
+                margin=0,
+                evaluate_quality=True,
+            ),
         ),
     )
     floor_sphere = manifest.full_sphere_size(0, qualities[-1])

@@ -75,12 +75,14 @@ def main() -> None:
     trace = ViewerPopulation(seed=8).trace(0, duration=5.0, rate=10.0)
     report = db.serve(
         "live",
-        trace,
-        SessionConfig(
-            policy=PredictiveTilingPolicy(),
-            bandwidth=ConstantBandwidth(15_000),
-            predictor="static",
-            margin=0,
+        (
+            trace,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=ConstantBandwidth(15_000),
+                predictor="static",
+                margin=0,
+            ),
         ),
     )
     print(

@@ -74,13 +74,15 @@ def main() -> None:
     for label, policy, predictor, margin in strategies:
         report = db.serve(
             "coaster",
-            trace,
-            SessionConfig(
-                policy=policy,
-                bandwidth=link,
-                predictor=predictor,
-                margin=margin,
-                evaluate_quality=True,
+            (
+                trace,
+                SessionConfig(
+                    policy=policy,
+                    bandwidth=link,
+                    predictor=predictor,
+                    margin=margin,
+                    evaluate_quality=True,
+                ),
             ),
         )
         if baseline is None:

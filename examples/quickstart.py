@@ -76,16 +76,18 @@ def main() -> None:
     trace = ViewerPopulation(seed=3).trace(0, duration=6.0, rate=10.0)
     link = ConstantBandwidth(20_000)  # bytes/second
     naive = db.serve(
-        "venice", trace, SessionConfig(policy=NaiveFullQuality(), bandwidth=link)
+        "venice", (trace, SessionConfig(policy=NaiveFullQuality(), bandwidth=link))
     )
     predictive = db.serve(
         "venice",
-        trace,
-        SessionConfig(
-            policy=PredictiveTilingPolicy(),
-            bandwidth=link,
-            predictor="static",
-            margin=0,
+        (
+            trace,
+            SessionConfig(
+                policy=PredictiveTilingPolicy(),
+                bandwidth=link,
+                predictor="static",
+                margin=0,
+            ),
         ),
     )
     print(

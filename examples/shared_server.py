@@ -71,7 +71,6 @@ def main() -> None:
         for viewers in (2, 4, 6):
             sessions = [
                 (
-                    "demo",
                     population.trace(user, duration, rate=10.0),
                     SessionConfig(
                         policy=policy_factory(),
@@ -83,8 +82,8 @@ def main() -> None:
                 )
                 for user in range(viewers)
             ]
-            reports = db.serve_all(
-                sessions, SimulatedLink(ConstantBandwidth(uplink_rate))
+            reports = db.serve(
+                "demo", sessions, link=SimulatedLink(ConstantBandwidth(uplink_rate))
             )
             rows.append(
                 {

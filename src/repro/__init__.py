@@ -23,6 +23,15 @@ from repro.geometry.grid import TileGrid
 from repro.geometry.viewport import Orientation, Viewport
 from repro.obs import MetricsRegistry
 from repro.predict.traces import HeadMovementModel, Trace
+from repro.serve import (
+    HttpSegmentClient,
+    RemoteStorage,
+    SegmentServer,
+    ServerConfig,
+    ServerHandle,
+    serve_session,
+    start_server,
+)
 from repro.stream.abr import NaiveFullQuality, PredictiveTilingPolicy, UniformAdaptive
 from repro.stream.network import ConstantBandwidth, SteppedBandwidth, TraceBandwidth
 from repro.video.frame import Frame
@@ -36,6 +45,7 @@ __all__ = [
     "FaultRule",
     "Frame",
     "HeadMovementModel",
+    "HttpSegmentClient",
     "IngestConfig",
     "RetryPolicy",
     "MetricsRegistry",
@@ -43,7 +53,11 @@ __all__ = [
     "Orientation",
     "PredictiveTilingPolicy",
     "Quality",
+    "RemoteStorage",
     "Scan",
+    "SegmentServer",
+    "ServerConfig",
+    "ServerHandle",
     "SessionConfig",
     "SteppedBandwidth",
     "TileGrid",
@@ -53,4 +67,6 @@ __all__ = [
     "VisualCloud",
     "Viewport",
     "__version__",
+    "serve_session",
+    "start_server",
 ]

@@ -1,0 +1,283 @@
+"""Wire delivery load harness: ``python -m repro.bench.serve``.
+
+Starts one asyncio segment server over a freshly ingested store and
+drives N *concurrent* wire sessions against it from client threads —
+each session the full ABR + predictor + resilient-assembly loop of the
+simulated path, every segment fetched over a real localhost socket.
+
+Three things are measured and checked:
+
+1. **Sustained concurrency** — all N sessions run to completion; the
+   report records wall time, aggregate request and byte throughput, and
+   the server's per-request latency percentiles straight from the shared
+   metrics registry (the ``/metrics`` endpoint, so the numbers are the
+   ones operators would scrape).
+2. **Chaos invariants, no-fault edition** — with a healthy store the
+   wire must deliver flawlessly: every session covers every window,
+   zero degradation events, zero skipped tiles. Any violation fails the
+   run (exit 1), mirroring the scenario runner's verdicts.
+3. **Sim/wire equivalence** — each session's QoE summary must equal a
+   simulated-path run of the same trace and config (the differential
+   acceptance criterion), since playback timing follows the same
+   bandwidth model on both paths.
+
+Writes ``BENCH_serve.json``. Run with ``--smoke`` in CI for a
+seconds-long pass with 4 sessions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.bench.harness import emit_table, format_bytes
+from repro.core.predictor import PredictionService
+from repro.core.storage import IngestConfig, StorageManager
+from repro.core.streamer import SessionConfig, Streamer
+from repro.geometry.grid import TileGrid
+from repro.obs import MetricsRegistry
+from repro.serve.client import HttpSegmentClient, serve_session
+from repro.serve.server import ServerConfig, start_server
+from repro.stream.abr import PredictiveTilingPolicy
+from repro.stream.estimator import HarmonicMeanEstimator
+from repro.stream.network import ConstantBandwidth
+from repro.video.quality import Quality
+from repro.workloads.users import ViewerPopulation
+from repro.workloads.videos import synthetic_video
+
+
+def _session_config(bandwidth: float) -> SessionConfig:
+    return SessionConfig(
+        policy=PredictiveTilingPolicy(),
+        bandwidth=ConstantBandwidth(bandwidth),
+        predictor="static",
+        estimator=HarmonicMeanEstimator(),
+    )
+
+
+def _summary_key(report) -> str:
+    """A comparable rendering of a QoE summary (NaN-stable via JSON)."""
+    return json.dumps(report.summary(), sort_keys=True)
+
+
+def _check_invariants(results: list[dict], window_count: int) -> list[str]:
+    """The no-fault wire invariants; returns violation descriptions."""
+    violations: list[str] = []
+    for result in results:
+        session = result["session"]
+        if result.get("error"):
+            violations.append(f"session {session} raised: {result['error']}")
+            continue
+        if result["windows"] != window_count:
+            violations.append(
+                f"session {session} covered {result['windows']}/{window_count} windows"
+            )
+        if result["degradations"] or result["skips"]:
+            violations.append(
+                f"session {session} degraded on a healthy store "
+                f"({result['degradations']} degradations, {result['skips']} skips)"
+            )
+        if not result["matches_sim"]:
+            violations.append(
+                f"session {session} wire QoE diverged from the simulated path"
+            )
+    return violations
+
+
+def run(args: argparse.Namespace) -> dict:
+    grid = TileGrid(*(int(part) for part in args.grid.lower().split("x")))
+    frames = list(
+        synthetic_video(
+            args.profile,
+            width=args.width,
+            height=args.height,
+            fps=args.fps,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    )
+    population = ViewerPopulation(seed=args.seed)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
+        storage = StorageManager(root)
+        meta = storage.ingest(
+            "bench",
+            iter(frames),
+            IngestConfig(
+                grid=grid,
+                qualities=(Quality.HIGH, Quality.LOW),
+                gop_frames=args.gop_frames,
+                fps=args.fps,
+            ),
+        )
+        manifest = storage.build_manifest("bench")
+
+        # Simulated-path references, one per viewer: the differential
+        # baseline the wire sessions must reproduce exactly.
+        traces = [
+            population.trace(viewer, duration=meta.duration, rate=10.0)
+            for viewer in range(args.sessions)
+        ]
+        sim_registry = MetricsRegistry()
+        sim_streamer = Streamer(
+            storage, PredictionService(registry=sim_registry), registry=sim_registry
+        )
+        sim_keys = [
+            _summary_key(
+                sim_streamer.serve("bench", trace, _session_config(args.bandwidth))
+            )
+            for trace in traces
+        ]
+
+        handle = start_server(
+            storage,
+            ServerConfig(read_workers=args.read_workers, queue_depth=args.queue_depth),
+        )
+        try:
+
+            def drive(viewer: int) -> dict:
+                try:
+                    report = serve_session(
+                        handle.base_url,
+                        "bench",
+                        traces[viewer],
+                        _session_config(args.bandwidth),
+                    )
+                except Exception as error:  # a died session is a violation, not a crash
+                    return {"session": viewer, "error": f"{type(error).__name__}: {error}"}
+                return {
+                    "session": viewer,
+                    "error": "",
+                    "windows": len(report.records),
+                    "degradations": report.degradation_count,
+                    "skips": sum(
+                        1
+                        for record in report.records
+                        for event in record.events
+                        if event.kind == "skip"
+                    ),
+                    "bytes": sum(record.bytes_sent for record in report.records),
+                    "matches_sim": _summary_key(report) == sim_keys[viewer],
+                }
+
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=args.sessions) as pool:
+                results = list(pool.map(drive, range(args.sessions)))
+            wall_seconds = time.perf_counter() - started
+
+            with HttpSegmentClient(handle.base_url) as probe:
+                metrics = probe.fetch_metrics()
+        finally:
+            handle.stop()
+
+    violations = _check_invariants(results, manifest.window_count)
+    counters = metrics["counters"]
+    histograms = metrics["histograms"]
+    segment_latency = histograms.get("serve.request_seconds{endpoint=segment}", {})
+    requests_total = sum(
+        value
+        for key, value in counters.items()
+        if key.startswith("serve.requests")
+    )
+    bytes_sent = counters.get("serve.bytes_sent", 0.0)
+    ok_sessions = sum(1 for result in results if not result.get("error"))
+
+    report = {
+        "params": {
+            "sessions": args.sessions,
+            "bandwidth": args.bandwidth,
+            "profile": args.profile,
+            "width": args.width,
+            "height": args.height,
+            "fps": args.fps,
+            "duration": args.duration,
+            "grid": args.grid,
+            "gop_frames": args.gop_frames,
+            "seed": args.seed,
+            "read_workers": args.read_workers,
+            "queue_depth": args.queue_depth,
+        },
+        "wall_seconds": wall_seconds,
+        "sessions_completed": ok_sessions,
+        "sessions_per_second": ok_sessions / wall_seconds if wall_seconds else 0.0,
+        "requests_total": requests_total,
+        "requests_per_second": requests_total / wall_seconds if wall_seconds else 0.0,
+        "bytes_sent": bytes_sent,
+        "bytes_per_second": bytes_sent / wall_seconds if wall_seconds else 0.0,
+        "segment_latency_seconds": segment_latency,
+        "invariants": {
+            "violations": violations,
+            "ok": not violations,
+        },
+        "sessions": results,
+        "metrics": metrics,
+    }
+
+    def fmt_quantile(name: str) -> str:
+        value = segment_latency.get(name, math.nan)
+        return f"{value * 1e3:.2f}" if isinstance(value, float) else "n/a"
+
+    emit_table(
+        "wire delivery",
+        [
+            {
+                "sessions": args.sessions,
+                "completed": ok_sessions,
+                "wall s": f"{wall_seconds:.2f}",
+                "req/s": f"{report['requests_per_second']:.0f}",
+                "sent": format_bytes(bytes_sent),
+                "p50 ms": fmt_quantile("p50"),
+                "p90 ms": fmt_quantile("p90"),
+                "p99 ms": fmt_quantile("p99"),
+                "violations": len(violations),
+            }
+        ],
+    )
+    for violation in violations:
+        print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--bandwidth", type=float, default=200_000.0, help="bytes/second")
+    parser.add_argument("--profile", default="venice")
+    parser.add_argument("--width", type=int, default=128)
+    parser.add_argument("--height", type=int, default=64)
+    parser.add_argument("--fps", type=float, default=10.0)
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--grid", default="2x4")
+    parser.add_argument("--gop-frames", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--read-workers", type=int, default=8)
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long 4-session pass for CI",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sessions = min(args.sessions, 4)
+        args.width, args.height = 64, 32
+        args.duration = min(args.duration, 2.0)
+        args.grid = "2x2"
+        args.gop_frames = 5
+    report = run(args)
+    return 0 if report["invariants"]["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

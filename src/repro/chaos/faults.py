@@ -252,6 +252,28 @@ class FaultPlan:
                     )
             return decision
 
+    def decide_key(
+        self,
+        video: str,
+        key,
+        media_time: float | None = None,
+        target: str = "storage",
+    ) -> FaultDecision | None:
+        """:meth:`decide` addressed by a canonical ``dash.SegmentKey``.
+
+        Wrappers that already hold a ``SegmentKey`` (the wire server, the
+        chaos storage shim) consult the plan through this so rule matching
+        uses the same identity as URLs and cache entries.
+        """
+        return self.decide(
+            video,
+            key.window,
+            key.tile,
+            key.quality.label,
+            media_time=media_time,
+            target=target,
+        )
+
     def apply_to_bandwidth(self, model):
         """Wrap a bandwidth model with this plan's blackout windows."""
         if not self.blackouts:

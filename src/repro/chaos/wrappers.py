@@ -18,6 +18,7 @@ from repro.core.errors import (
     SegmentReadTimeout,
     TransientSegmentError,
 )
+from repro.stream.dash import SegmentKey
 from repro.video.quality import Quality
 from repro.video.tiles import TiledGop
 
@@ -82,11 +83,12 @@ class ChaosStorageManager:
     ) -> bytes:
         meta = self.inner.meta(name, version)
         media_time = meta.gop_start_time(gop) if 0 <= gop < meta.gop_count else None
-        decision = self.plan.decide(
-            name, gop, tile, quality.label, media_time=media_time, target="storage"
+        key = SegmentKey(gop, tile, quality)
+        decision = self.plan.decide_key(
+            name, key, media_time=media_time, target="storage"
         )
         if decision is not None:
-            context = f"{name!r} gop={gop} tile={tile} quality={quality.label}"
+            context = f"{name!r} segment {key.to_path()}"
             if decision.kind == "slow" and decision.delay <= self.slow_tolerance:
                 if self.simulate_sleep:
                     time.sleep(min(decision.delay, 0.05))

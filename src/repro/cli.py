@@ -8,6 +8,8 @@ The operational surface a deployment needs:
     python -m repro ls                 --root /tmp/db
     python -m repro info demo          --root /tmp/db
     python -m repro serve demo --policy predictive --bandwidth 20000
+    python -m repro serve demo --transport http     # real-socket delivery
+    python -m repro bench-serve --smoke             # wire load harness
     python -m repro query demo --select-time 0:2 --grayscale --store gray
     python -m repro export demo /tmp/demo.mp4
     python -m repro metrics demo --sessions 4 --format prom
@@ -117,7 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("name")
     info.add_argument("--version", type=int, default=None)
 
-    serve = commands.add_parser("serve", help="stream to a simulated viewer")
+    serve = commands.add_parser(
+        "serve", help="stream to a viewer (simulated link or real HTTP socket)"
+    )
     serve.add_argument("name")
     serve.add_argument("--policy", choices=sorted(POLICIES), default="predictive")
     serve.add_argument("--predictor", choices=PREDICTOR_KINDS, default="static")
@@ -125,6 +129,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--margin", type=int, default=0)
     serve.add_argument("--viewer-seed", type=int, default=0)
     serve.add_argument("--probe", action="store_true", help="compute viewport PSNR")
+    serve.add_argument(
+        "--transport",
+        choices=("sim", "http"),
+        default="sim",
+        help="sim = in-process simulated link; http = fetch segments "
+        "over a real socket",
+    )
+    serve.add_argument(
+        "--url",
+        default=None,
+        help="segment server to stream from (with --transport http); "
+        "omitted, a loopback server over --root is started for the session",
+    )
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="wire delivery load harness: N concurrent localhost sessions "
+        "against the asyncio segment server (writes BENCH_serve.json)",
+    )
+    bench_serve.add_argument("--sessions", type=int, default=32)
+    bench_serve.add_argument("--bandwidth", type=float, default=200_000.0)
+    bench_serve.add_argument("--output", default="BENCH_serve.json")
+    bench_serve.add_argument("--smoke", action="store_true")
 
     query = commands.add_parser("query", help="run a fixed query pipeline")
     query.add_argument("name")
@@ -276,7 +303,24 @@ def _command_serve(db: VisualCloud, args) -> None:
         margin=args.margin,
         evaluate_quality=args.probe,
     )
-    report = db.serve(args.name, trace, config)
+    if args.transport == "http":
+        if args.probe:
+            raise VisualCloudError("--probe needs decoded access; not available over http")
+        if args.url is not None:
+            report = db.serve(
+                args.name, (trace, config), transport="http", base_url=args.url
+            )
+        else:
+            from repro.serve import start_server
+
+            with start_server(db.storage) as handle:
+                print(f"(loopback segment server at {handle.base_url})")
+                report = db.serve(
+                    args.name, (trace, config),
+                    transport="http", base_url=handle.base_url,
+                )
+    else:
+        report = db.serve(args.name, (trace, config))
     for key, value in report.summary().items():
         print(f"{key:>18}: {value}")
 
@@ -350,9 +394,9 @@ def _command_metrics(db: VisualCloud, args) -> None:
                 predictor="static",
                 estimator=HarmonicMeanEstimator(),
             )
-            sessions.append((args.name, trace, config))
+            sessions.append((trace, config))
         link = SimulatedLink(ConstantBandwidth(args.bandwidth))
-        db.serve_all(sessions, link)
+        db.serve(args.name, sessions, link=link)
 
     if args.export_format == "prom":
         rendered = db.metrics.to_prometheus()
@@ -363,6 +407,21 @@ def _command_metrics(db: VisualCloud, args) -> None:
         print(f"wrote metrics to {args.output}")
     else:
         print(rendered)
+
+
+def _command_bench_serve(db: VisualCloud, args) -> int:
+    # Self-provisioning like the other bench harnesses: the load run
+    # ingests into a throwaway store; --root is left untouched.
+    from repro.bench.serve import main as bench_serve_main
+
+    argv = [
+        "--sessions", str(args.sessions),
+        "--bandwidth", str(args.bandwidth),
+        "--output", args.output,
+    ]
+    if args.smoke:
+        argv.append("--smoke")
+    return bench_serve_main(argv)
 
 
 def _command_chaos(db: VisualCloud, args) -> int:
@@ -427,6 +486,7 @@ _COMMANDS = {
     "vacuum": _command_vacuum,
     "stats": _command_stats,
     "metrics": _command_metrics,
+    "bench-serve": _command_bench_serve,
     "chaos": _command_chaos,
 }
 

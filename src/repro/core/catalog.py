@@ -23,6 +23,7 @@ import re
 from pathlib import Path
 
 from repro.core.errors import CatalogError
+from repro.stream.dash import SegmentKey
 from repro.video.quality import Quality
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
@@ -33,8 +34,7 @@ def segment_file_name(
     gop: int, tile: tuple[int, int], quality: Quality, version: int
 ) -> str:
     """Canonical file name for one encoded tile segment."""
-    row, col = tile
-    return f"g{gop:05d}_r{row}_c{col}_{quality.label}_v{version}.seg"
+    return SegmentKey(gop, tile, quality).file_name(version)
 
 
 class Catalog:

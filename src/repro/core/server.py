@@ -14,6 +14,7 @@ management) hangs off the same object.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Iterable
 
@@ -118,9 +119,98 @@ class VisualCloud:
 
     # -- delivery -------------------------------------------------------------------
 
-    def serve(self, name: str, trace: Trace, config: SessionConfig) -> QoEReport:
-        """Stream a stored video to one simulated viewer."""
-        return self.streamer.serve(name, trace, config)
+    def serve(
+        self,
+        name: str,
+        sessions,
+        config: SessionConfig | None = None,
+        *,
+        link: SimulatedLink | None = None,
+        transport: str = "sim",
+        base_url: str | None = None,
+        start_offsets: list[float] | None = None,
+    ) -> QoEReport | list[QoEReport]:
+        """Stream a stored video to one or many viewers — the single
+        delivery entry point.
+
+        ``sessions`` is one ``(trace, config)`` pair or a list of them;
+        a single pair returns one :class:`QoEReport`, a list returns a
+        list in the same order. Dispatch:
+
+        * ``transport="sim"``, no ``link`` — each session runs on its own
+          simulated link (:class:`~repro.core.streamer.Streamer`);
+        * ``transport="sim"`` with ``link`` — all sessions contend for
+          the shared bottleneck
+          (:class:`~repro.core.multisession.SharedLinkStreamer`),
+          optionally staggered by ``start_offsets``;
+        * ``transport="http"`` — sessions fetch real bytes from the
+          segment server at ``base_url`` (:func:`repro.serve.serve_session`),
+          reusing this instance's trained predictors. Playback timing
+          still follows each session's bandwidth model, so reports stay
+          comparable with the simulated paths.
+
+        The pre-unification call shape ``serve(name, trace, config)``
+        still works but warns: detected by ``trace`` being a
+        :class:`Trace`, it runs one simulated session exactly as before.
+        """
+        if isinstance(sessions, Trace):
+            if config is None:
+                raise TypeError("legacy serve(name, trace, config) requires a config")
+            warnings.warn(
+                "serve(name, trace, config) is deprecated; use "
+                "serve(name, (trace, config))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.streamer.serve(name, sessions, config)
+        if config is not None:
+            raise TypeError(
+                "positional config is only for the deprecated "
+                "serve(name, trace, config) form; put configs in the "
+                "(trace, config) pairs"
+            )
+
+        single = isinstance(sessions, tuple)
+        pairs = [sessions] if single else list(sessions)
+        for pair in pairs:
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise TypeError(
+                    f"sessions must be (trace, config) pairs, got {pair!r}"
+                )
+        if transport not in ("sim", "http"):
+            raise ValueError(f"unknown transport {transport!r}; use 'sim' or 'http'")
+
+        if transport == "http":
+            if base_url is None:
+                raise ValueError("transport='http' requires base_url")
+            if link is not None:
+                raise ValueError(
+                    "transport='http' uses the real socket; a simulated "
+                    "shared link cannot apply"
+                )
+            from repro.serve import serve_session
+
+            reports = [
+                serve_session(
+                    base_url, name, trace, session_config,
+                    registry=self.metrics, prediction=self.prediction,
+                )
+                for trace, session_config in pairs
+            ]
+        elif link is not None:
+            reports = self.shared_streamer.serve_all(
+                [(name, trace, session_config) for trace, session_config in pairs],
+                link,
+                start_offsets,
+            )
+        else:
+            if start_offsets is not None:
+                raise ValueError("start_offsets only applies to shared-link serving")
+            reports = [
+                self.streamer.serve(name, trace, session_config)
+                for trace, session_config in pairs
+            ]
+        return reports[0] if single else reports
 
     def serve_all(
         self,
@@ -128,7 +218,17 @@ class VisualCloud:
         link: SimulatedLink,
         start_offsets: list[float] | None = None,
     ) -> list[QoEReport]:
-        """Stream to many viewers over one shared bottleneck link."""
+        """Deprecated: use :meth:`serve` with ``link=``.
+
+        Kept for callers streaming *heterogeneous* video names over one
+        link, which the unified entry (scoped to one name) does not
+        cover; same behaviour as before, now with a warning.
+        """
+        warnings.warn(
+            "serve_all is deprecated; use serve(name, sessions, link=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.shared_streamer.serve_all(sessions, link, start_offsets)
 
     # -- queries ---------------------------------------------------------------------

@@ -724,7 +724,9 @@ class StorageManager:
             if self.segment_cache is None:
                 data = load()
             else:
-                cache_key = (name, gop, tile, quality, entry.file_version)
+                cache_key = SegmentKey(gop, tile, quality).cache_key(
+                    name, entry.file_version
+                )
                 # Single-flight: concurrent sessions missing on the same
                 # segment share one file read instead of stampeding the
                 # filesystem.

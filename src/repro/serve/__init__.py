@@ -1,0 +1,22 @@
+"""Network delivery: the asyncio segment server and its wire client.
+
+This package is the repo's network-facing surface — the piece of the
+VisualCloud demo that actually ships per-tile, per-quality segments to
+many concurrent headsets. The server (:mod:`repro.serve.server`) exposes
+a stored catalog over HTTP; the client (:mod:`repro.serve.client`) runs
+the unchanged ABR + predictor session loop against the real socket by
+adapting the wire to the storage read contract.
+"""
+
+from repro.serve.client import HttpSegmentClient, RemoteStorage, serve_session
+from repro.serve.server import SegmentServer, ServerConfig, ServerHandle, start_server
+
+__all__ = [
+    "HttpSegmentClient",
+    "RemoteStorage",
+    "SegmentServer",
+    "ServerConfig",
+    "ServerHandle",
+    "serve_session",
+    "start_server",
+]

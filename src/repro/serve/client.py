@@ -1,0 +1,263 @@
+"""The wire client: the session loop over a real socket.
+
+Rather than reimplementing ABR, prediction, and resilience for the
+network, the client adapts the wire to the storage read contract:
+:class:`RemoteStorage` exposes ``build_manifest``/``read_segment`` over
+HTTP, so the unchanged :class:`~repro.core.streamer.Streamer` — and with
+it :func:`~repro.core.resilience.read_window_resilient`'s retry →
+degrade → skip ladder and the chaos invariants — runs end-to-end against
+the server.
+
+Error taxonomy (the raw-``OSError`` leak class this layer exists to
+close): every transport failure surfaces as the PR 3 error contract.
+Connection refused/reset and malformed responses map to
+:class:`TransientSegmentError`; socket timeouts map to
+:class:`SegmentReadTimeout`; server-side failures are rebuilt from the
+HTTP status (404 → :class:`SegmentNotFoundError`, 409 →
+:class:`SegmentCorruptError`, 503 → :class:`TransientSegmentError`,
+504 → :class:`SegmentReadTimeout`). Callers written against
+``StorageManager`` — above all the resilience layer — therefore need no
+wire-specific handling.
+
+Session timing stays on the session's *simulated* bandwidth model even
+over the wire: localhost transfer time measures the test host, not the
+300 Mb/s link the experiment models. The bytes are real (fetched,
+hashed into payloads, cache-accounted on the server); the playback
+clock is the model's — which is exactly what makes wire and simulated
+QoE reports comparable on the same trace. Real transport latency lands
+in the metrics registries on both ends instead.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from time import perf_counter
+from urllib.parse import urlsplit
+
+from repro.core.errors import (
+    SegmentCorruptError,
+    SegmentNotFoundError,
+    SegmentReadTimeout,
+    TransientSegmentError,
+)
+from repro.core.predictor import PredictionService
+from repro.core.streamer import SessionConfig, Streamer
+from repro.obs import MetricsRegistry
+from repro.predict.traces import Trace
+from repro.stream.dash import Manifest, SegmentKey
+from repro.stream.qoe import QoEReport
+
+_STATUS_ERRORS = {
+    404: SegmentNotFoundError,
+    409: SegmentCorruptError,
+    503: TransientSegmentError,
+    504: SegmentReadTimeout,
+}
+
+
+class HttpSegmentClient:
+    """A keep-alive HTTP/1.1 client for one segment server.
+
+    One underlying connection, serialized by a lock — concurrent
+    sessions each own a client (and therefore a socket) rather than
+    multiplexing one. A request that fails on a connection that had
+    already served traffic is retried once on a fresh socket before the
+    failure is reported: a keep-alive connection the server closed
+    between requests is indistinguishable from a real refusal, and
+    retrying it is the standard cure.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// servers are supported, got {base_url!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in base URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: http.client.HTTPConnection | None = None
+        self._served_requests = 0
+
+    # -- transport ------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._served_requests = 0
+        return self._connection
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "HttpSegmentClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, path: str) -> tuple[int, dict, bytes]:
+        """One GET; returns (status, headers, body). All transport
+        failures leave as taxonomy errors, never raw OS exceptions."""
+        with self._lock:
+            # A connection that already served requests may have been
+            # closed by the server's keep-alive policy; one fresh-socket
+            # retry distinguishes that from a real fault.
+            attempts = 2 if self._served_requests > 0 else 1
+            for attempt in range(1, attempts + 1):
+                connection = self._connect()
+                try:
+                    connection.request("GET", path)
+                    response = connection.getresponse()
+                    body = response.read()
+                except socket.timeout as error:
+                    self._drop_connection()
+                    raise SegmentReadTimeout(
+                        f"GET {path} exceeded the {self.timeout:.3f}s budget"
+                    ) from error
+                except (ConnectionError, http.client.HTTPException, OSError) as error:
+                    self._drop_connection()
+                    if attempt < attempts:
+                        continue
+                    raise TransientSegmentError(
+                        f"GET {path} failed in transit: {error}"
+                    ) from error
+                self._served_requests += 1
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, dict(response.getheaders()), body
+        raise AssertionError("unreachable: the retry loop always returns")
+
+    @staticmethod
+    def _raise_for_status(status: int, headers: dict, body: bytes, path: str) -> None:
+        if status == 200:
+            return
+        try:
+            detail = json.loads(body).get("detail", "")
+        except (ValueError, AttributeError):
+            detail = body[:200].decode("utf-8", "replace")
+        error_name = headers.get("X-Error", "")
+        message = f"GET {path} -> {status} {error_name}: {detail}"
+        raise _STATUS_ERRORS.get(status, TransientSegmentError)(message)
+
+    # -- endpoints ------------------------------------------------------------
+
+    def fetch_manifest(self, name: str) -> Manifest:
+        path = f"/manifest/{name}"
+        status, headers, body = self._request(path)
+        self._raise_for_status(status, headers, body, path)
+        try:
+            return Manifest.from_json(json.loads(body))
+        except (ValueError, KeyError) as error:
+            raise TransientSegmentError(
+                f"malformed manifest from GET {path}: {error}"
+            ) from error
+
+    def fetch_segment(self, name: str, key: SegmentKey) -> bytes:
+        path = f"/segment/{name}/{key.to_path()}"
+        status, headers, body = self._request(path)
+        self._raise_for_status(status, headers, body, path)
+        return body
+
+    def fetch_metrics(self) -> dict:
+        status, headers, body = self._request("/metrics")
+        self._raise_for_status(status, headers, body, "/metrics")
+        return json.loads(body)
+
+    def healthy(self) -> bool:
+        try:
+            status, _, _ = self._request("/healthz")
+        except TransientSegmentError:
+            return False
+        return status == 200
+
+
+class RemoteStorage:
+    """The storage read contract, backed by a segment server.
+
+    Duck-types the two methods the session loop needs —
+    ``build_manifest`` and ``read_segment`` — so :class:`Streamer` and
+    :func:`read_window_resilient` run against the wire unchanged.
+    Manifests are fetched once per name and cached (they are immutable
+    per version, like the simulated path's single build per session).
+    """
+
+    def __init__(
+        self, client: HttpSegmentClient, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.client = client
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._manifests: dict[str, Manifest] = {}
+        self._latency = self.metrics.histogram(
+            "client.request_seconds", "wall time per wire segment fetch"
+        )
+        self._bytes = self.metrics.counter(
+            "client.bytes_received", "segment bytes fetched over the wire"
+        )
+
+    def build_manifest(self, name: str) -> Manifest:
+        manifest = self._manifests.get(name)
+        if manifest is None:
+            manifest = self.client.fetch_manifest(name)
+            self._manifests[name] = manifest
+        return manifest
+
+    def read_segment(
+        self,
+        name: str,
+        gop: int,
+        tile: tuple[int, int],
+        quality,
+        version: int | None = None,
+    ) -> bytes:
+        if version is not None:
+            raise ValueError("the wire serves only the latest committed version")
+        started = perf_counter()
+        data = self.client.fetch_segment(name, SegmentKey(gop, tile, quality))
+        self._latency.observe(perf_counter() - started, video=name)
+        self._bytes.inc(len(data), video=name)
+        return data
+
+
+def serve_session(
+    base_url: str,
+    name: str,
+    trace: Trace,
+    config: SessionConfig,
+    registry: MetricsRegistry | None = None,
+    prediction: PredictionService | None = None,
+) -> QoEReport:
+    """Run one complete wire session against a segment server.
+
+    The full simulated-path session loop (prediction, ABR, resilient
+    window assembly, playback accounting) with every segment fetched
+    over HTTP. ``prediction`` carries trained Markov priors when the
+    caller has them; omitted, an untrained service is used (fine for
+    every predictor except ``markov``).
+    """
+    if config.evaluate_quality:
+        raise ValueError(
+            "evaluate_quality needs decoded window access and is not "
+            "available over the wire; run the PSNR probe on the server side"
+        )
+    metrics = registry if registry is not None else MetricsRegistry()
+    with HttpSegmentClient(base_url) as client:
+        storage = RemoteStorage(client, registry=metrics)
+        service = prediction if prediction is not None else PredictionService(registry=metrics)
+        streamer = Streamer(storage, service, registry=metrics)
+        return streamer.serve(name, trace, config)

@@ -1,0 +1,449 @@
+"""The asyncio segment-delivery server.
+
+One process, one event loop, one :class:`~repro.core.storage.StorageManager`.
+The loop never touches the disk: every segment read is pushed onto a
+thread pool (``loop.run_in_executor``), and concurrent misses on the same
+segment collapse inside the pool through the storage manager's
+single-flight :class:`~repro.core.cache.LruSegmentCache` — N headsets
+requesting the same equatorial tile cost one file read.
+
+Endpoints (HTTP/1.1, ``GET`` only, keep-alive by default):
+
+* ``/manifest/<video>`` — :meth:`Manifest.to_json` as JSON;
+* ``/segment/<video>/<window>/<row>/<col>/<quality>`` — raw segment
+  bytes; the URL tail is exactly :meth:`SegmentKey.to_path`;
+* ``/metrics`` — the shared registry's snapshot as JSON;
+* ``/healthz`` — liveness.
+
+Failures map onto the storage error contract, never raw ``OSError``:
+404 :class:`SegmentNotFoundError` / :class:`CatalogError`,
+409 :class:`SegmentCorruptError`, 503 :class:`TransientSegmentError`,
+504 :class:`SegmentReadTimeout`, 400 malformed path. The ``X-Error``
+header carries the class name so the wire client can rebuild the exact
+type.
+
+Backpressure is per connection: responses are enqueued on a bounded
+``asyncio.Queue`` drained by a writer task that awaits ``drain()`` after
+every response. A client that stops reading fills its own queue and
+stalls only its own pipeline — the reader blocks on ``put`` instead of
+buffering unboundedly.
+
+Shutdown is drain-then-close: stop accepting, let every queued response
+flush (bounded by ``drain_timeout``), then cancel stragglers and release
+the thread pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.core.errors import (
+    CatalogError,
+    SegmentCorruptError,
+    SegmentNotFoundError,
+    SegmentReadTimeout,
+    TransientSegmentError,
+    VisualCloudError,
+)
+from repro.obs import MetricsRegistry
+from repro.stream.dash import SegmentKey
+
+_MAX_REQUEST_BYTES = 16 * 1024  # request line + headers; GETs carry no body
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`SegmentServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the kernel pick (the handle reports it)
+    read_workers: int = 8  # thread pool for blocking storage reads
+    queue_depth: int = 32  # bounded per-connection response queue
+    read_timeout: float | None = 5.0  # seconds per storage read; None = unbounded
+    drain_timeout: float = 5.0  # graceful-shutdown flush budget
+
+    def __post_init__(self) -> None:
+        if self.read_workers < 1:
+            raise ValueError(f"read_workers must be >= 1, got {self.read_workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ValueError(f"read_timeout must be positive, got {self.read_timeout}")
+        if self.drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")
+
+
+def _status_for(error: BaseException) -> int:
+    """The wire status of one storage-contract error (order matters:
+    subclasses before their bases)."""
+    if isinstance(error, SegmentCorruptError):
+        return 409
+    if isinstance(error, (SegmentNotFoundError, CatalogError)):
+        return 404
+    if isinstance(error, SegmentReadTimeout):
+        return 504
+    if isinstance(error, TransientSegmentError):
+        return 503
+    return 500
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class _Response:
+    status: int
+    body: bytes
+    content_type: str = "application/octet-stream"
+    error: str = ""  # exception class name, sent as X-Error
+
+    def encode(self, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if self.error:
+            head.append(f"X-Error: {self.error}")
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + self.body
+
+
+def _json_response(status: int, payload: dict) -> _Response:
+    return _Response(
+        status,
+        json.dumps(payload, sort_keys=True).encode("utf-8"),
+        content_type="application/json",
+    )
+
+
+def _error_response(status: int, error: BaseException) -> _Response:
+    body = json.dumps({"error": type(error).__name__, "detail": str(error)})
+    return _Response(
+        status,
+        body.encode("utf-8"),
+        content_type="application/json",
+        error=type(error).__name__,
+    )
+
+
+class SegmentServer:
+    """Serves a storage manager's catalog over HTTP to many sessions.
+
+    Owns nothing but sockets: the storage manager (and therefore the
+    cache and the metrics registry) is shared with whatever else the
+    process runs. Start with :meth:`start`, stop with :meth:`stop`; or
+    use :class:`ServerHandle` / :func:`start_server` to run the loop in
+    a daemon thread from synchronous code.
+    """
+
+    def __init__(
+        self,
+        storage,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.storage = storage
+        self.config = config or ServerConfig()
+        self.metrics = (
+            registry
+            if registry is not None
+            else getattr(storage, "metrics", None) or MetricsRegistry()
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._drain: asyncio.Event | None = None
+        self._requests = self.metrics.counter("serve.requests", "HTTP requests served")
+        self._bytes = self.metrics.counter("serve.bytes_sent", "HTTP body bytes sent")
+        self._latency = self.metrics.histogram(
+            "serve.request_seconds", "wall time from request parse to enqueue"
+        )
+        self._gauge_connections = self.metrics.gauge(
+            "serve.connections", "open client connections"
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._drain = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.read_workers, thread_name_prefix="serve-read"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Drain and shut down: no new connections, queued responses
+        flush within ``drain_timeout``, stragglers are cancelled."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self._drain is not None:
+            self._drain.set()  # idle keep-alive loops exit immediately
+        pending = [task for task in self._connections if not task.done()]
+        if pending:
+            _, unfinished = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+            for task in unfinished:
+                task.cancel()
+            if unfinished:
+                await asyncio.gather(*unfinished, return_exceptions=True)
+        self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        self._gauge_connections.inc()
+        # Bounded send queue: the reader enqueues, the writer drains. A
+        # slow consumer fills the queue and stalls its own reader — that
+        # is the backpressure.
+        queue: asyncio.Queue[bytes | None] = asyncio.Queue(self.config.queue_depth)
+        writer_task = asyncio.create_task(self._write_loop(queue, writer))
+        assert self._drain is not None
+        try:
+            while not self._drain.is_set():
+                request = await self._next_request(reader)
+                if request is None:
+                    break
+                method, path, keep_alive = request
+                started = perf_counter()
+                if method != "GET":
+                    response = _Response(
+                        405, b"", content_type="text/plain", error="MethodNotAllowed"
+                    )
+                    keep_alive = False
+                else:
+                    response = await self._dispatch(path)
+                endpoint = path.split("/", 2)[1] if path.count("/") else path
+                self._requests.inc(endpoint=endpoint, status=str(response.status))
+                self._bytes.inc(len(response.body))
+                self._latency.observe(perf_counter() - started, endpoint=endpoint)
+                await queue.put(response.encode(keep_alive))
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
+            pass  # peer went away mid-request; nothing to answer
+        finally:
+            await queue.put(None)  # sentinel: flush then close
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            self._connections.discard(task)
+            self._gauge_connections.dec()
+
+    async def _next_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bool] | None:
+        """The next parsed request, or None on client EOF *or* drain.
+
+        Racing the read against the drain event is what makes shutdown
+        prompt: an idle keep-alive connection is parked in ``readuntil``
+        and would otherwise only notice draining when force-cancelled
+        after the full timeout.
+        """
+        assert self._drain is not None
+        read = asyncio.create_task(self._read_request(reader))
+        drain = asyncio.create_task(self._drain.wait())
+        done, _ = await asyncio.wait({read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        if read not in done:
+            read.cancel()
+            await asyncio.gather(read, return_exceptions=True)
+            return None
+        drain.cancel()
+        return read.result()
+
+    @staticmethod
+    async def _write_loop(queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                payload = await queue.get()
+                if payload is None:
+                    break
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bool] | None:
+        """Parse one request head; None on clean EOF."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None  # clean close between requests
+            raise
+        if len(head) > _MAX_REQUEST_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, version = parts
+        keep_alive = version == "HTTP/1.1"
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "connection":
+                keep_alive = value.strip().lower() != "close"
+        return method, target, keep_alive
+
+    # -- request dispatch -----------------------------------------------------
+
+    async def _dispatch(self, path: str) -> _Response:
+        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                return _Response(200, b"ok", content_type="text/plain")
+            if parts == ["metrics"]:
+                return _json_response(200, self.metrics.snapshot())
+            if len(parts) == 2 and parts[0] == "manifest":
+                return await self._manifest(parts[1])
+            if len(parts) == 6 and parts[0] == "segment":
+                return await self._segment(parts[1], "/".join(parts[2:]))
+            return _error_response(404, LookupError(f"no route for {path!r}"))
+        except VisualCloudError as error:
+            return _error_response(_status_for(error), error)
+        except ValueError as error:
+            return _error_response(400, error)
+
+    async def _manifest(self, name: str) -> _Response:
+        manifest = await self._offload(lambda: self.storage.build_manifest(name))
+        return _json_response(200, manifest.to_json())
+
+    async def _segment(self, name: str, tail: str) -> _Response:
+        key = SegmentKey.from_path(tail)  # ValueError → 400
+        data = await self._offload(
+            lambda: self.storage.read_segment(name, key.window, key.tile, key.quality)
+        )
+        return _Response(200, data)
+
+    async def _offload(self, call):
+        """Run a blocking storage call on the thread pool, bounded by the
+        read budget; a blown budget surfaces as the taxonomy's timeout."""
+        if self._executor is None:
+            raise RuntimeError("server is not running")
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, call)
+        if self.config.read_timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.config.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise SegmentReadTimeout(
+                f"storage read exceeded the {self.config.read_timeout:.3f}s budget"
+            ) from None
+
+
+class ServerHandle:
+    """A :class:`SegmentServer` running its event loop in a daemon thread.
+
+    The synchronous face of the server for tests, the CLI, and the bench
+    driver: construct, read ``base_url``, call :meth:`stop` (or use as a
+    context manager). Thread-safe to stop more than once.
+    """
+
+    def __init__(self, server: SegmentServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._address: tuple[str, int] | None = None
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="segment-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._failure is not None:
+            raise self._failure
+        if self._address is None:
+            raise RuntimeError("segment server failed to start within 10s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._address = self._loop.run_until_complete(self.server.start())
+        except BaseException as error:  # surface bind failures to the caller
+            self._failure = error
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._address is not None
+        return self._address
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future.result(timeout=self.server.config.drain_timeout + 10.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server(
+    storage,
+    config: ServerConfig | None = None,
+    registry: MetricsRegistry | None = None,
+) -> ServerHandle:
+    """Start a segment server in a background thread and hand it back."""
+    return ServerHandle(SegmentServer(storage, config, registry))

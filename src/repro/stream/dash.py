@@ -17,11 +17,59 @@ from repro.video.quality import Quality
 
 @dataclass(frozen=True)
 class SegmentKey:
-    """Identity of one deliverable segment."""
+    """Identity of one deliverable segment.
+
+    This is the *canonical* segment identity: wire URLs
+    (:meth:`to_path`/:meth:`from_path`), segment file names
+    (:meth:`file_name`), and buffer-pool keys (:meth:`cache_key`) are all
+    derived from one ``SegmentKey``, so the HTTP surface, the catalog
+    layout, the cache, and chaos targeting cannot drift apart.
+    """
 
     window: int  # delivery-window (GOP) index
     tile: tuple[int, int]  # (row, col) in the grid
     quality: Quality
+
+    def to_path(self) -> str:
+        """The wire path of this segment: ``window/row/col/quality``.
+
+        This is the tail of the server's segment URL
+        (``/segment/<video>/<window>/<row>/<col>/<quality>``); it contains
+        no video name or version — names scope the URL, versions are a
+        storage concern the wire never sees.
+        """
+        row, col = self.tile
+        return f"{self.window}/{row}/{col}/{self.quality.label}"
+
+    @classmethod
+    def from_path(cls, path: str) -> "SegmentKey":
+        """Parse :meth:`to_path` output (raises ``ValueError`` on junk)."""
+        parts = path.strip("/").split("/")
+        if len(parts) != 4:
+            raise ValueError(
+                f"segment path must be window/row/col/quality, got {path!r}"
+            )
+        try:
+            window, row, col = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as error:
+            raise ValueError(f"non-integer component in segment path {path!r}") from error
+        if window < 0 or row < 0 or col < 0:
+            raise ValueError(f"negative component in segment path {path!r}")
+        return cls(window, (row, col), Quality.from_label(parts[3]))
+
+    def cache_key(self, video: str, file_version: int) -> tuple:
+        """The buffer-pool key for this segment's bytes.
+
+        The tuple shape ``(video, window, tile, quality, version)`` is
+        relied on by the chaos cache wrapper and the scenario runner's
+        cache/disk consistency audit — construct it here, nowhere else.
+        """
+        return (video, self.window, self.tile, self.quality, file_version)
+
+    def file_name(self, version: int) -> str:
+        """Canonical on-disk file name of this segment at ``version``."""
+        row, col = self.tile
+        return f"g{self.window:05d}_r{row}_c{col}_{self.quality.label}_v{version}.seg"
 
 
 @dataclass
@@ -130,3 +178,50 @@ class Manifest:
             raise IndexError(f"window {window} outside [0, {self.window_count})")
         start = window * self.window_duration
         return (start, start + self.window_duration)
+
+    # -- wire (de)serialisation -----------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-able dict; the payload of the server's manifest endpoint.
+
+        Segment sizes are keyed by :meth:`SegmentKey.to_path`, so the keys
+        in the wire manifest are exactly the URL tails a client requests.
+        """
+        return {
+            "video": self.video,
+            "width": self.width,
+            "height": self.height,
+            "fps": self.fps,
+            "window_duration": self.window_duration,
+            "window_count": self.window_count,
+            "grid": [self.grid.rows, self.grid.cols],
+            "qualities": [quality.label for quality in self.qualities],
+            "segments": {
+                key.to_path(): size
+                for key, size in sorted(
+                    self.segment_sizes.items(),
+                    key=lambda item: (item[0].window, item[0].tile, item[0].quality.rank),
+                )
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        """Rebuild a manifest from :meth:`to_json` output (exact inverse)."""
+        rows, cols = data["grid"]
+        return cls(
+            video=data["video"],
+            width=int(data["width"]),
+            height=int(data["height"]),
+            fps=float(data["fps"]),
+            window_duration=float(data["window_duration"]),
+            window_count=int(data["window_count"]),
+            grid=TileGrid(int(rows), int(cols)),
+            qualities=tuple(
+                Quality.from_label(label) for label in data["qualities"]
+            ),
+            segment_sizes={
+                SegmentKey.from_path(path): int(size)
+                for path, size in data["segments"].items()
+            },
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.stream.dash import SegmentKey
 from repro.video.quality import Quality
 
 
@@ -38,10 +39,16 @@ class DegradationEvent:
     attempts: int  # total read attempts spent on this tile
     reason: str = ""
 
+    @property
+    def segment_key(self) -> SegmentKey:
+        """Canonical identity of the segment the session asked for."""
+        return SegmentKey(self.window, self.tile, self.requested)
+
     def to_json(self) -> dict:
         return {
             "window": self.window,
             "tile": list(self.tile),
+            "segment": self.segment_key.to_path(),
             "requested": self.requested.label,
             "delivered": None if self.delivered is None else self.delivered.label,
             "kind": self.kind,

@@ -1,0 +1,155 @@
+"""The asyncio segment server: endpoints, identity, concurrency, shutdown."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Quality
+from repro.core.errors import SegmentNotFoundError
+from repro.serve import HttpSegmentClient, ServerConfig, start_server
+from repro.stream.dash import Manifest, SegmentKey
+
+
+@pytest.fixture()
+def server(session_db):
+    handle = start_server(session_db.storage, ServerConfig(drain_timeout=2.0))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with HttpSegmentClient(server.base_url) as client:
+        yield client
+
+
+class TestManifestEndpoint:
+    def test_wire_manifest_equals_local_build(self, session_db, client):
+        local = session_db.storage.build_manifest("clip")
+        wire = client.fetch_manifest("clip")
+        assert wire.segment_sizes == local.segment_sizes
+        assert wire.grid == local.grid
+        assert wire.qualities == local.qualities
+        assert wire.window_count == local.window_count
+
+    def test_unknown_video_is_not_found(self, client):
+        with pytest.raises(SegmentNotFoundError):
+            client.fetch_manifest("nope")
+
+    def test_manifest_is_plain_json(self, server):
+        with urllib.request.urlopen(f"{server.base_url}/manifest/clip") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            Manifest.from_json(json.load(response))
+
+
+class TestSegmentEndpoint:
+    def test_every_segment_is_byte_identical_to_storage(self, session_db, client):
+        manifest = session_db.storage.build_manifest("clip")
+        for key in manifest.segment_sizes:
+            wire = client.fetch_segment("clip", key)
+            local = session_db.storage.read_segment(
+                "clip", key.window, key.tile, key.quality
+            )
+            assert wire == local
+
+    def test_missing_segment_is_404(self, client):
+        with pytest.raises(SegmentNotFoundError):
+            client.fetch_segment("clip", SegmentKey(999, (0, 0), Quality.HIGH))
+
+    def test_malformed_path_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"{server.base_url}/segment/clip/not/a/real/key")
+        assert caught.value.code == 400
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"{server.base_url}/frobnicate")
+        assert caught.value.code == 404
+
+    def test_error_responses_carry_the_class_name(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"{server.base_url}/segment/clip/999/0/0/high")
+        assert caught.value.code == 404
+        assert caught.value.headers["X-Error"] == "SegmentNotFoundError"
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_metrics_snapshot_reflects_traffic(self, session_db, client):
+        manifest = client.fetch_manifest("clip")
+        key = next(iter(manifest.segment_sizes))
+        client.fetch_segment("clip", key)
+        snapshot = client.fetch_metrics()
+        counters = snapshot["counters"]
+        assert any(key.startswith("serve.requests") for key in counters)
+        assert counters.get("serve.bytes_sent", 0) > 0
+        assert any(
+            key.startswith("serve.request_seconds") for key in snapshot["histograms"]
+        )
+
+
+class TestConcurrency:
+    def test_many_threads_fetch_identical_bytes(self, session_db, server):
+        manifest = session_db.storage.build_manifest("clip")
+        key = next(iter(sorted(manifest.segment_sizes, key=lambda k: k.to_path())))
+        expected = session_db.storage.read_segment(
+            "clip", key.window, key.tile, key.quality
+        )
+        results: list[bytes] = []
+        errors: list[BaseException] = []
+
+        def fetch():
+            try:
+                with HttpSegmentClient(server.base_url) as client:
+                    results.append(client.fetch_segment("clip", key))
+            except BaseException as error:  # noqa: BLE001 - collected for the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=fetch) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 12
+        assert all(result == expected for result in results)
+
+    def test_keep_alive_serves_sequential_requests(self, session_db, client):
+        manifest = client.fetch_manifest("clip")
+        keys = sorted(manifest.segment_sizes, key=lambda k: k.to_path())[:6]
+        for key in keys:
+            assert client.fetch_segment("clip", key) == session_db.storage.read_segment(
+                "clip", key.window, key.tile, key.quality
+            )
+
+
+class TestShutdown:
+    def test_stop_is_prompt_with_idle_keepalive_connections(self, session_db):
+        import time
+
+        handle = start_server(session_db.storage, ServerConfig(drain_timeout=5.0))
+        client = HttpSegmentClient(handle.base_url)
+        client.fetch_manifest("clip")  # leaves a keep-alive connection open
+        started = time.perf_counter()
+        handle.stop()
+        elapsed = time.perf_counter() - started
+        client.close()
+        assert elapsed < 2.0, f"drain of an idle connection took {elapsed:.1f}s"
+
+    def test_stopped_server_refuses_connections(self, session_db):
+        handle = start_server(session_db.storage)
+        host, port = handle.address
+        handle.stop()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_stop_is_idempotent(self, session_db):
+        handle = start_server(session_db.storage)
+        handle.stop()
+        handle.stop()

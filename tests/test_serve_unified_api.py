@@ -1,0 +1,174 @@
+"""The unified ``VisualCloud.serve`` entry point.
+
+One method now covers the whole delivery matrix — single simulated
+session, shared-link contention, and real HTTP transport — with the
+pre-unification call shapes surviving as warning shims. These tests pin
+three things: the shims warn but behave identically, dispatch errors
+fire before any work happens, and a no-fault wire session is
+QoE-indistinguishable from its simulated twin.
+"""
+
+import json
+
+import pytest
+
+from repro import SessionConfig
+from repro.serve import start_server
+from repro.stream.abr import PredictiveTilingPolicy, UniformAdaptive
+from repro.stream.network import ConstantBandwidth, SimulatedLink
+from repro.workloads.users import ViewerPopulation
+
+
+def _config(bandwidth=200_000, **overrides):
+    defaults = dict(
+        policy=UniformAdaptive(),
+        bandwidth=ConstantBandwidth(bandwidth),
+        predictor="static",
+    )
+    defaults.update(overrides)
+    return SessionConfig(**defaults)
+
+
+def _trace(session_db, user=0):
+    meta = session_db.meta("clip")
+    return ViewerPopulation(seed=2).trace(user, duration=meta.duration, rate=10.0)
+
+
+def _summary_key(report):
+    # json.dumps renders NaN stably, so reports whose PSNR fields are
+    # NaN (no quality probe) still compare equal.
+    return json.dumps(report.summary(), sort_keys=True)
+
+
+class TestDeprecatedShims:
+    def test_legacy_serve_warns_and_matches_new_form(self, session_db):
+        trace, config = _trace(session_db), _config()
+        with pytest.warns(DeprecationWarning, match="serve\\(name, \\(trace, config\\)\\)"):
+            legacy = session_db.serve("clip", trace, config)
+        modern = session_db.serve("clip", (trace, config))
+        assert _summary_key(legacy) == _summary_key(modern)
+
+    def test_legacy_serve_requires_config(self, session_db):
+        with pytest.raises(TypeError, match="requires a config"):
+            session_db.serve("clip", _trace(session_db))
+
+    def test_serve_all_warns_and_matches_link_form(self, session_db):
+        sessions = [(_trace(session_db, user), _config()) for user in range(3)]
+        link_rate = 120_000
+        with pytest.warns(DeprecationWarning, match="serve_all is deprecated"):
+            legacy = session_db.serve_all(
+                [("clip", trace, config) for trace, config in sessions],
+                SimulatedLink(ConstantBandwidth(link_rate)),
+            )
+        modern = session_db.serve(
+            "clip", sessions, link=SimulatedLink(ConstantBandwidth(link_rate))
+        )
+        assert [_summary_key(r) for r in legacy] == [_summary_key(r) for r in modern]
+
+    def test_new_forms_do_not_warn(self, session_db, recwarn):
+        session_db.serve("clip", (_trace(session_db), _config()))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestReturnShapes:
+    def test_single_pair_returns_one_report(self, session_db):
+        report = session_db.serve("clip", (_trace(session_db), _config()))
+        assert not isinstance(report, list)
+        assert report.records
+
+    def test_list_returns_reports_in_order(self, session_db):
+        sessions = [(_trace(session_db, user), _config()) for user in range(3)]
+        reports = session_db.serve("clip", sessions)
+        assert isinstance(reports, list) and len(reports) == 3
+        # Order is observable: each report replays its own trace, and
+        # per-user traces differ, so summaries must line up one-to-one
+        # with a sequential re-run.
+        expected = [
+            _summary_key(session_db.serve("clip", pair)) for pair in sessions
+        ]
+        assert [_summary_key(r) for r in reports] == expected
+
+    def test_shared_link_single_pair_still_returns_one_report(self, session_db):
+        report = session_db.serve(
+            "clip",
+            (_trace(session_db), _config()),
+            link=SimulatedLink(ConstantBandwidth(100_000)),
+        )
+        assert not isinstance(report, list)
+
+
+class TestHttpTransport:
+    def test_wire_reports_match_simulated_reports(self, session_db):
+        # The differential acceptance criterion: same traces, same
+        # configs, no faults — the wire path must produce QoE reports
+        # JSON-equal to the simulated path. Playback timing stays on the
+        # session's bandwidth model; only the bytes travel differently.
+        sessions = [(_trace(session_db, user), _config()) for user in range(2)]
+        sim = [session_db.serve("clip", pair) for pair in sessions]
+        handle = start_server(session_db.storage)
+        try:
+            wire = session_db.serve(
+                "clip", sessions, transport="http", base_url=handle.base_url
+            )
+        finally:
+            handle.stop()
+        assert [_summary_key(r) for r in wire] == [_summary_key(r) for r in sim]
+
+    def test_http_uses_trained_predictors(self, session_db):
+        meta = session_db.meta("clip")
+        population = ViewerPopulation(seed=9)
+        session_db.train_predictor(
+            "clip",
+            [population.trace(user, meta.duration, rate=10.0) for user in range(1, 5)],
+        )
+        config = _config(policy=PredictiveTilingPolicy(), predictor="markov", margin=0)
+        trace = population.trace(0, meta.duration, rate=10.0)
+        sim = session_db.serve("clip", (trace, config))
+        handle = start_server(session_db.storage)
+        try:
+            wire = session_db.serve(
+                "clip", (trace, config), transport="http", base_url=handle.base_url
+            )
+        finally:
+            handle.stop()
+        assert _summary_key(wire) == _summary_key(sim)
+
+
+class TestDispatchErrors:
+    def test_unknown_transport(self, session_db):
+        with pytest.raises(ValueError, match="transport"):
+            session_db.serve(
+                "clip", (_trace(session_db), _config()), transport="carrier-pigeon"
+            )
+
+    def test_positional_config_with_new_style(self, session_db):
+        with pytest.raises(TypeError, match="positional config"):
+            session_db.serve("clip", (_trace(session_db), _config()), _config())
+
+    def test_http_requires_base_url(self, session_db):
+        with pytest.raises(ValueError, match="base_url"):
+            session_db.serve(
+                "clip", (_trace(session_db), _config()), transport="http"
+            )
+
+    def test_http_rejects_simulated_link(self, session_db):
+        with pytest.raises(ValueError, match="link"):
+            session_db.serve(
+                "clip",
+                (_trace(session_db), _config()),
+                transport="http",
+                base_url="http://127.0.0.1:1",
+                link=SimulatedLink(ConstantBandwidth(100_000)),
+            )
+
+    def test_start_offsets_require_a_link(self, session_db):
+        with pytest.raises(ValueError, match="start_offsets"):
+            session_db.serve(
+                "clip", (_trace(session_db), _config()), start_offsets=[0.0]
+            )
+
+    def test_malformed_session_pair(self, session_db):
+        with pytest.raises(TypeError, match="pairs"):
+            session_db.serve("clip", [_trace(session_db)])
