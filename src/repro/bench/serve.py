@@ -21,6 +21,14 @@ Three things are measured and checked:
    acceptance criterion), since playback timing follows the same
    bandwidth model on both paths.
 
+``--replicas N`` serves the same store from N servers and streams every
+session through the failover client; ``--kill-after T`` hard-stops
+replica 0 mid-run (requires ``--replicas >= 2``). In that mode the bench
+measures failover QoE instead of sim-equivalence: every session must
+still complete every window with zero escaped errors, and the report
+gains a ``failover`` section (failovers, retries, degradations, budget
+spend) so the cost of the outage is visible, not just survived.
+
 Writes ``BENCH_serve.json``. Run with ``--smoke`` in CI for a
 seconds-long pass with 4 sessions.
 """
@@ -32,6 +40,7 @@ import json
 import math
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -66,8 +75,19 @@ def _summary_key(report) -> str:
     return json.dumps(report.summary(), sort_keys=True)
 
 
-def _check_invariants(results: list[dict], window_count: int) -> list[str]:
-    """The no-fault wire invariants; returns violation descriptions."""
+def _check_invariants(
+    results: list[dict],
+    window_count: int,
+    require_sim_match: bool = True,
+    require_no_degradation: bool = True,
+) -> list[str]:
+    """The wire invariants; returns violation descriptions.
+
+    A kill-mid-run failover bench relaxes exactly two of them: sessions
+    may degrade (bounded, reported) and their QoE need not bit-match the
+    simulated path — but they must still complete every window with no
+    escaped error.
+    """
     violations: list[str] = []
     for result in results:
         session = result["session"]
@@ -78,12 +98,12 @@ def _check_invariants(results: list[dict], window_count: int) -> list[str]:
             violations.append(
                 f"session {session} covered {result['windows']}/{window_count} windows"
             )
-        if result["degradations"] or result["skips"]:
+        if require_no_degradation and (result["degradations"] or result["skips"]):
             violations.append(
                 f"session {session} degraded on a healthy store "
                 f"({result['degradations']} degradations, {result['skips']} skips)"
             )
-        if not result["matches_sim"]:
+        if require_sim_match and not result["matches_sim"]:
             violations.append(
                 f"session {session} wire QoE diverged from the simulated path"
             )
@@ -135,19 +155,33 @@ def run(args: argparse.Namespace) -> dict:
             for trace in traces
         ]
 
-        handle = start_server(
-            storage,
-            ServerConfig(read_workers=args.read_workers, queue_depth=args.queue_depth),
-        )
+        failover_mode = args.replicas > 1 or args.kill_after is not None
+        serve_registry = MetricsRegistry()  # shared: /metrics is tier-wide
+        handles = [
+            start_server(
+                storage,
+                ServerConfig(
+                    read_workers=args.read_workers, queue_depth=args.queue_depth
+                ),
+                registry=serve_registry,
+            )
+            for _ in range(args.replicas)
+        ]
+        killer: threading.Timer | None = None
         try:
+            base_urls = [handle.base_url for handle in handles]
+            target = base_urls if failover_mode else base_urls[0]
+            session_registries = [MetricsRegistry() for _ in range(args.sessions)]
 
             def drive(viewer: int) -> dict:
+                registry = session_registries[viewer]
                 try:
                     report = serve_session(
-                        handle.base_url,
+                        target,
                         "bench",
                         traces[viewer],
                         _session_config(args.bandwidth),
+                        registry=registry,
                     )
                 except Exception as error:  # a died session is a violation, not a crash
                     return {"session": viewer, "error": f"{type(error).__name__}: {error}"}
@@ -166,17 +200,40 @@ def run(args: argparse.Namespace) -> dict:
                     "matches_sim": _summary_key(report) == sim_keys[viewer],
                 }
 
+            if args.kill_after is not None:
+
+                def kill_first_replica() -> None:
+                    try:
+                        handles[0].stop()
+                    except Exception:  # noqa: BLE001 — a racing clean stop is fine
+                        pass
+
+                killer = threading.Timer(args.kill_after, kill_first_replica)
+                killer.daemon = True
+                killer.start()
+
             started = time.perf_counter()
             with ThreadPoolExecutor(max_workers=args.sessions) as pool:
                 results = list(pool.map(drive, range(args.sessions)))
             wall_seconds = time.perf_counter() - started
 
-            with HttpSegmentClient(handle.base_url) as probe:
+            with HttpSegmentClient(handles[-1].base_url) as probe:
                 metrics = probe.fetch_metrics()
         finally:
-            handle.stop()
+            if killer is not None:
+                killer.cancel()
+            for handle in handles:
+                try:
+                    handle.stop()
+                except Exception:  # noqa: BLE001 — already killed mid-run
+                    pass
 
-    violations = _check_invariants(results, manifest.window_count)
+    violations = _check_invariants(
+        results,
+        manifest.window_count,
+        require_sim_match=not failover_mode,
+        require_no_degradation=args.kill_after is None,
+    )
     counters = metrics["counters"]
     histograms = metrics["histograms"]
     segment_latency = histograms.get("serve.request_seconds{endpoint=segment}", {})
@@ -202,6 +259,8 @@ def run(args: argparse.Namespace) -> dict:
             "seed": args.seed,
             "read_workers": args.read_workers,
             "queue_depth": args.queue_depth,
+            "replicas": args.replicas,
+            "kill_after": args.kill_after,
         },
         "wall_seconds": wall_seconds,
         "sessions_completed": ok_sessions,
@@ -218,6 +277,24 @@ def run(args: argparse.Namespace) -> dict:
         "sessions": results,
         "metrics": metrics,
     }
+    if failover_mode:
+
+        def across_sessions(name: str) -> float:
+            return sum(
+                registry.counter(name).total() for registry in session_registries
+            )
+
+        report["failover"] = {
+            "requests": across_sessions("failover.requests"),
+            "failovers": across_sessions("failover.failovers"),
+            "hedges": across_sessions("failover.hedges"),
+            "budget_exhausted": across_sessions("failover.budget_exhausted"),
+            "stream_retries": across_sessions("stream.retries"),
+            "degradations": sum(
+                result.get("degradations", 0) for result in results
+            ),
+            "skips": sum(result.get("skips", 0) for result in results),
+        }
 
     def fmt_quantile(name: str) -> str:
         value = segment_latency.get(name, math.nan)
@@ -239,6 +316,22 @@ def run(args: argparse.Namespace) -> dict:
             }
         ],
     )
+    if failover_mode:
+        failover = report["failover"]
+        emit_table(
+            "failover",
+            [
+                {
+                    "replicas": args.replicas,
+                    "kill s": "-" if args.kill_after is None else f"{args.kill_after:g}",
+                    "failovers": f"{failover['failovers']:.0f}",
+                    "retries": f"{failover['stream_retries']:.0f}",
+                    "degraded": f"{failover['degradations']:.0f}",
+                    "skips": f"{failover['skips']:.0f}",
+                    "budget dry": f"{failover['budget_exhausted']:.0f}",
+                }
+            ],
+        )
     for violation in violations:
         print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
 
@@ -262,6 +355,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--read-workers", type=int, default=8)
     parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve the store from N replicas through the failover client",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=None,
+        help="hard-stop replica 0 this many seconds into the run",
+    )
     parser.add_argument("--output", default="BENCH_serve.json")
     parser.add_argument(
         "--smoke",
@@ -269,6 +374,10 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds-long 4-session pass for CI",
     )
     args = parser.parse_args(argv)
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1")
+    if args.kill_after is not None and args.replicas < 2:
+        parser.error("--kill-after needs --replicas >= 2 (a survivor must remain)")
     if args.smoke:
         args.sessions = min(args.sessions, 4)
         args.width, args.height = 64, 32

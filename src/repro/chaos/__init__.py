@@ -8,10 +8,15 @@ The package has three layers:
   time, all driven by one seed so any run replays exactly;
 * :mod:`repro.chaos.wrappers` — drop-in fault-injecting views over the
   storage manager and segment cache;
+* :mod:`repro.chaos.proxy` — a fault-injecting TCP relay that breaks
+  the wire itself (refused connections, resets, mid-body truncation,
+  slow-loris trickle, added latency), scheduled by the same plans;
 * :mod:`repro.chaos.scenario` — a runner that drives whole streaming
   sessions under a plan and checks machine-readable invariants
   (no uncaught exceptions, per-tile coverage, no silent quality
-  upgrades, cache/disk consistency, metrics/event agreement).
+  upgrades, cache/disk consistency, metrics/event agreement — plus, in
+  wire mode, taxonomy-only failures, monotone circuit transitions, and
+  bounded degradation with a healthy replica).
 
 :mod:`repro.chaos.corrupt` additionally provides the corruption-corpus
 primitives (structural truncations, bit flips) the failure-injection
@@ -26,7 +31,8 @@ from repro.chaos.corrupt import (
     segment_corruption_corpus,
     truncate,
 )
-from repro.chaos.faults import FaultDecision, FaultPlan, FaultRule
+from repro.chaos.faults import WIRE_KINDS, FaultDecision, FaultPlan, FaultRule
+from repro.chaos.proxy import ChaosProxy
 from repro.chaos.scenario import (
     InvariantCheck,
     InvariantReport,
@@ -36,6 +42,7 @@ from repro.chaos.scenario import (
 from repro.chaos.wrappers import ChaosSegmentCache, ChaosStorageManager
 
 __all__ = [
+    "ChaosProxy",
     "ChaosSegmentCache",
     "ChaosStorageManager",
     "FaultDecision",
@@ -51,4 +58,5 @@ __all__ = [
     "metadata_corruption_corpus",
     "segment_corruption_corpus",
     "truncate",
+    "WIRE_KINDS",
 ]

@@ -34,8 +34,16 @@ from dataclasses import dataclass, field
 #: ``corrupt`` (persistent, detected at validation), ``slow`` (transient
 #: latency beyond the read budget), ``flaky`` (transient I/O error).
 #: Cache-target kind: ``evict`` (the entry vanishes before lookup).
-KINDS = ("missing", "corrupt", "slow", "flaky", "evict")
-TARGETS = ("storage", "cache")
+#: Wire-target kinds (injected by :class:`repro.chaos.proxy.ChaosProxy`
+#: between client and server): ``refuse`` (the connection dies before
+#: any response byte), ``reset`` (abrupt close mid-status-line),
+#: ``truncate`` (headers plus a ``fraction`` of the body, then close),
+#: ``trickle`` (slow-loris: the body dribbles one byte per ``delay``
+#: seconds until the client gives up), ``delay`` (fixed added latency,
+#: then a clean response).
+WIRE_KINDS = ("refuse", "reset", "truncate", "trickle", "delay")
+KINDS = ("missing", "corrupt", "slow", "flaky", "evict") + WIRE_KINDS
+TARGETS = ("storage", "cache", "wire")
 
 #: Bound on the remembered injection log (the counters are always exact).
 _LOG_LIMIT = 10_000
@@ -56,7 +64,8 @@ class FaultRule:
     tile: tuple[int, int] | None = None
     quality: str | None = None  # a Quality label
     media: tuple[float, float] | None = None
-    delay: float = 0.0  # seconds; used by ``slow``
+    delay: float = 0.0  # seconds; used by ``slow``, ``trickle``, ``delay``
+    fraction: float = 0.5  # body fraction forwarded by ``truncate``
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -65,6 +74,16 @@ class FaultRule:
             raise ValueError(f"unknown fault target {self.target!r}; use one of {TARGETS}")
         if self.kind == "evict" and self.target != "cache":
             raise ValueError("'evict' faults only make sense with target='cache'")
+        if self.kind in WIRE_KINDS and self.target != "wire":
+            raise ValueError(
+                f"{self.kind!r} is a wire fault; it needs target='wire'"
+            )
+        if self.target == "wire" and self.kind not in WIRE_KINDS:
+            raise ValueError(
+                f"target='wire' only injects {WIRE_KINDS}, not {self.kind!r}"
+            )
+        if not 0.0 < self.fraction < 1.0 and self.kind == "truncate":
+            raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.every < 0:
@@ -124,6 +143,8 @@ class FaultRule:
             data["media"] = list(self.media)
         if self.delay:
             data["delay"] = self.delay
+        if self.fraction != 0.5:
+            data["fraction"] = self.fraction
         return data
 
     @classmethod
@@ -145,6 +166,7 @@ class FaultDecision:
     kind: str
     rule_index: int
     delay: float = 0.0
+    fraction: float = 0.5
 
 
 class FaultPlan:
@@ -179,7 +201,7 @@ class FaultPlan:
     def reset(self) -> None:
         """Rewind to the start of the schedule (fresh RNGs, zero calls)."""
         with self._lock:
-            self._calls = {"storage": 0, "cache": 0}
+            self._calls = {target: 0 for target in TARGETS}
             self._rngs = [
                 random.Random(f"{self.seed}:{index}")
                 for index in range(len(self.rules))
@@ -223,7 +245,7 @@ class FaultPlan:
                 remaining = self._bursts.get(burst_key, 0)
                 if remaining > 0:
                     self._bursts[burst_key] = remaining - 1
-                    decision = FaultDecision(rule.kind, index, rule.delay)
+                    decision = FaultDecision(rule.kind, index, rule.delay, rule.fraction)
                     break
                 fired = call in rule.calls
                 if not fired and rule.every:
@@ -233,7 +255,7 @@ class FaultPlan:
                 if fired:
                     if rule.burst > 1:
                         self._bursts[burst_key] = rule.burst - 1
-                    decision = FaultDecision(rule.kind, index, rule.delay)
+                    decision = FaultDecision(rule.kind, index, rule.delay, rule.fraction)
                     break
             if decision is not None:
                 self.injected[decision.kind] = self.injected.get(decision.kind, 0) + 1

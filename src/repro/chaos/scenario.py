@@ -26,6 +26,21 @@ Invariants checked on every run:
   its on-disk file (no stale or corrupt bytes survived invalidation);
 * ``metrics_events_agree`` — the ``obs`` counters and the QoE event
   trail tell the same story, exactly.
+
+``sessions.mode == "wire"`` replays the scenario over real sockets: one
+or more :class:`~repro.serve.server.SegmentServer` replicas behind
+:class:`~repro.chaos.proxy.ChaosProxy` instances (replica 0 gets the
+fault plan; siblings relay cleanly), streamed through a
+:class:`~repro.serve.failover.FailoverSegmentClient`. Wire runs add:
+
+* ``no_raw_transport_errors`` — any escaping failure is a taxonomy
+  error, never a raw ``OSError``;
+* ``circuit_monotone`` — every recorded breaker transition is a legal
+  edge (closed→open→half_open→{closed | open});
+* ``expected_wire_faults`` — anti-vacuous guard that the proxy actually
+  injected something;
+* ``bounded_degradation`` (any mode, via ``invariants.max_degradations``)
+  — a tier with a healthy replica degrades at most that much.
 """
 
 from __future__ import annotations
@@ -212,6 +227,8 @@ class ScenarioRunner:
         meta = db.meta(self.VIDEO_NAME)
 
         scenario.plan.reset()
+        if scenario.sessions.get("mode", "single") == "wire":
+            return self._run_wire(db, meta)
         chaos_storage = ChaosStorageManager(db.storage, scenario.plan)
         if db.storage.segment_cache is not None and any(
             rule.target == "cache" for rule in scenario.plan.rules
@@ -275,7 +292,180 @@ class ScenarioRunner:
 
         return self._judge(db, meta, reports, failures)
 
-    def _judge(self, db, meta, reports, failures) -> InvariantReport:
+    def _run_wire(self, db, meta) -> InvariantReport:
+        """Replay over real sockets: servers behind chaos proxies,
+        streamed through the failover client.
+
+        Sessions run sequentially over one shared client so the order of
+        wire-fault decisions — and with it the whole report — is
+        deterministic per seed. ``reset_timeout=0`` keeps breaker
+        recovery schedule-driven rather than wall-clock-driven.
+        """
+        from repro.chaos.proxy import ChaosProxy
+        from repro.obs import MetricsRegistry
+        from repro.serve.client import RemoteStorage
+        from repro.serve.failover import FailoverConfig, FailoverSegmentClient
+        from repro.serve.server import ServerConfig, start_server
+
+        scenario = self.scenario
+        sessions = scenario.sessions
+        count = int(sessions.get("count", 2))
+        replica_count = int(sessions.get("replicas", 1))
+        bandwidth = float(sessions.get("bandwidth", 50_000.0))
+        policy_name = sessions.get("policy", "predictive")
+        predictor = sessions.get("predictor", "static")
+        margin = int(sessions.get("margin", 1))
+        retry_policy = scenario.retry_policy()
+        population = ViewerPopulation(seed=scenario.seed)
+        client_metrics = MetricsRegistry()
+        hedge_delay = sessions.get("hedge_delay")
+
+        handles: list = []
+        proxies: list[ChaosProxy] = []
+        client = None
+        try:
+            for index in range(replica_count):
+                handle = start_server(db.storage, ServerConfig(), registry=db.metrics)
+                handles.append(handle)
+                proxy = ChaosProxy(
+                    handle.address,
+                    plan=scenario.plan if index == 0 else None,
+                )
+                proxy.start()
+                proxies.append(proxy)
+            client = FailoverSegmentClient(
+                [proxy.base_url for proxy in proxies],
+                config=FailoverConfig(
+                    failure_threshold=int(sessions.get("failure_threshold", 3)),
+                    reset_timeout=0.0,
+                    request_timeout=float(sessions.get("request_timeout", 2.0)),
+                    hedge_delay=None if hedge_delay is None else float(hedge_delay),
+                ),
+                registry=client_metrics,
+            )
+            storage = RemoteStorage(client, registry=client_metrics)
+            streamer = Streamer(storage, db.prediction, registry=client_metrics)
+            reports: list = [None] * count
+            failures: list[tuple[int, str]] = []
+            for viewer in range(count):
+                trace = population.trace(viewer, duration=meta.duration, rate=10.0)
+                config = SessionConfig(
+                    policy=POLICIES[policy_name](),
+                    bandwidth=scenario.plan.apply_to_bandwidth(
+                        ConstantBandwidth(bandwidth)
+                    ),
+                    predictor=predictor,
+                    margin=margin,
+                    retry=retry_policy,
+                )
+                try:
+                    reports[viewer] = streamer.serve(self.VIDEO_NAME, trace, config)
+                except Exception as error:  # noqa: BLE001 — escapes ARE the finding
+                    failures.append((viewer, f"{type(error).__name__}: {error}"))
+            extra_checks, extra_metrics = self._judge_wire(client, failures)
+            return self._judge(
+                db,
+                meta,
+                reports,
+                failures,
+                registry=client_metrics,
+                extra_checks=extra_checks,
+                extra_metrics=extra_metrics,
+            )
+        finally:
+            if client is not None:
+                client.close()
+            for proxy in proxies:
+                proxy.stop()
+            for handle in handles:
+                handle.stop()
+
+    def _judge_wire(self, client, failures):
+        """The wire-only invariants plus deterministic failover metrics.
+
+        Replica URLs carry ephemeral ports, so the report keys breakers
+        by index — two replays of the same seed must produce identical
+        bytes.
+        """
+        from repro.chaos.faults import WIRE_KINDS
+        from repro.serve.failover import LEGAL_TRANSITIONS
+
+        scenario = self.scenario
+        checks: list[InvariantCheck] = []
+        taxonomy = {
+            "VisualCloudError",
+            "CatalogError",
+            "SegmentNotFoundError",
+            "SegmentCorruptError",
+            "TransientSegmentError",
+            "SegmentReadTimeout",
+        }
+        raw = [
+            (index, message)
+            for index, message in failures
+            if message.split(":", 1)[0] not in taxonomy
+        ]
+        checks.append(
+            InvariantCheck(
+                "no_raw_transport_errors",
+                ok=not raw,
+                details=(
+                    "; ".join(f"session {i}: {msg}" for i, msg in raw) if raw else ""
+                ),
+            )
+        )
+        trails: dict[str, list] = {}
+        illegal = []
+        for index, replica in enumerate(client.replicas.replicas):
+            edges = list(replica.breaker.transitions)
+            trails[f"replica-{index}"] = [list(edge) for edge in edges]
+            illegal.extend(
+                (index, edge) for edge in edges if edge not in LEGAL_TRANSITIONS
+            )
+        checks.append(
+            InvariantCheck(
+                "circuit_monotone",
+                ok=not illegal,
+                details=f"illegal breaker edges: {illegal[:10]}" if illegal else "",
+            )
+        )
+        wire_injected = sum(
+            scenario.plan.injected.get(kind, 0) for kind in WIRE_KINDS
+        )
+        if scenario.invariants.get("expect_wire_faults"):
+            checks.append(
+                InvariantCheck(
+                    "expected_wire_faults",
+                    ok=wire_injected >= 1,
+                    details="" if wire_injected else "the proxy injected nothing",
+                )
+            )
+        extra_metrics = {
+            "wire_calls": scenario.plan.calls("wire"),
+            "breaker_transitions": trails,
+            "failover": {
+                "requests": client.metrics.counter("failover.requests").total(),
+                "failovers": client.metrics.counter("failover.failovers").total(),
+                "hedges": client.metrics.counter("failover.hedges").total(),
+                "budget_exhausted": client.metrics.counter(
+                    "failover.budget_exhausted"
+                ).total(),
+                "budget_spent": client.budget.spent,
+                "budget_denied": client.budget.denied,
+            },
+        }
+        return checks, extra_metrics
+
+    def _judge(
+        self,
+        db,
+        meta,
+        reports,
+        failures,
+        registry=None,
+        extra_checks=(),
+        extra_metrics=None,
+    ) -> InvariantReport:
         scenario = self.scenario
         checks: list[InvariantCheck] = []
         completed = [report for report in reports if report is not None]
@@ -342,6 +532,7 @@ class ScenarioRunner:
             )
         )
 
+        stream_metrics = registry if registry is not None else db.metrics
         checks.append(self._check_qoe_floor(completed))
         if scenario.invariants.get("expect_degradations"):
             total = sum(report.degradation_count for report in completed)
@@ -352,8 +543,23 @@ class ScenarioRunner:
                     details="" if total else "plan injected no effective degradation",
                 )
             )
+        max_degradations = scenario.invariants.get("max_degradations")
+        if max_degradations is not None:
+            total = sum(report.degradation_count for report in completed)
+            checks.append(
+                InvariantCheck(
+                    "bounded_degradation",
+                    ok=total <= int(max_degradations),
+                    details=(
+                        f"{total} degradation events > allowed {max_degradations}"
+                        if total > int(max_degradations)
+                        else ""
+                    ),
+                )
+            )
         checks.append(self._check_cache_consistency(db))
-        checks.append(self._check_metrics_agree(db, completed))
+        checks.append(self._check_metrics_agree(stream_metrics, completed))
+        checks.extend(extra_checks)
 
         events = []
         for index, report in enumerate(reports):
@@ -370,10 +576,12 @@ class ScenarioRunner:
             "faults_injected": dict(sorted(scenario.plan.injected.items())),
             "storage_calls": scenario.plan.calls("storage"),
             "cache_calls": scenario.plan.calls("cache"),
-            "retries": db.metrics.counter("stream.retries").total(),
-            "degradations": db.metrics.counter("stream.degradations").total(),
-            "tiles_skipped": db.metrics.counter("stream.tiles_skipped").total(),
+            "retries": stream_metrics.counter("stream.retries").total(),
+            "degradations": stream_metrics.counter("stream.degradations").total(),
+            "tiles_skipped": stream_metrics.counter("stream.tiles_skipped").total(),
         }
+        if extra_metrics:
+            metrics.update(extra_metrics)
         return InvariantReport(
             scenario=scenario.name,
             seed=scenario.seed,
@@ -426,7 +634,7 @@ class ScenarioRunner:
             details=f"cached bytes diverge from disk: {stale[:10]}" if stale else "",
         )
 
-    def _check_metrics_agree(self, db, reports) -> InvariantCheck:
+    def _check_metrics_agree(self, registry, reports) -> InvariantCheck:
         event_degrades = sum(
             1
             for report in reports
@@ -439,8 +647,8 @@ class ScenarioRunner:
             for event in report.degradation_events
             if event.kind == "skip"
         )
-        counted_degrades = db.metrics.counter("stream.degradations").total()
-        counted_skips = db.metrics.counter("stream.tiles_skipped").total()
+        counted_degrades = registry.counter("stream.degradations").total()
+        counted_skips = registry.counter("stream.tiles_skipped").total()
         problems = []
         if counted_degrades != event_degrades:
             problems.append(

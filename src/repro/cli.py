@@ -150,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--sessions", type=int, default=32)
     bench_serve.add_argument("--bandwidth", type=float, default=200_000.0)
+    bench_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve from N replicas through the failover client",
+    )
+    bench_serve.add_argument(
+        "--kill-after",
+        type=float,
+        default=None,
+        help="hard-stop replica 0 this many seconds into the run "
+        "(needs --replicas >= 2)",
+    )
     bench_serve.add_argument("--output", default="BENCH_serve.json")
     bench_serve.add_argument("--smoke", action="store_true")
 
@@ -235,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--output", default=None, help="write the invariant report JSON here"
+    )
+    chaos.add_argument(
+        "--wire",
+        action="store_true",
+        help="force wire mode: replay over real sockets through the "
+        "fault-injecting proxy and the failover client",
     )
 
     return parser
@@ -417,8 +436,11 @@ def _command_bench_serve(db: VisualCloud, args) -> int:
     argv = [
         "--sessions", str(args.sessions),
         "--bandwidth", str(args.bandwidth),
+        "--replicas", str(args.replicas),
         "--output", args.output,
     ]
+    if args.kill_after is not None:
+        argv += ["--kill-after", str(args.kill_after)]
     if args.smoke:
         argv.append("--smoke")
     return bench_serve_main(argv)
@@ -430,6 +452,8 @@ def _command_chaos(db: VisualCloud, args) -> int:
     from repro.chaos import Scenario, ScenarioRunner
 
     scenario = Scenario.load(Path(args.plan), seed=args.seed)
+    if args.wire:
+        scenario.sessions["mode"] = "wire"
     report = ScenarioRunner(scenario).run()
     rendered = report.dumps()
     if args.output:

@@ -3,20 +3,42 @@
 This package is the repo's network-facing surface — the piece of the
 VisualCloud demo that actually ships per-tile, per-quality segments to
 many concurrent headsets. The server (:mod:`repro.serve.server`) exposes
-a stored catalog over HTTP; the client (:mod:`repro.serve.client`) runs
-the unchanged ABR + predictor session loop against the real socket by
-adapting the wire to the storage read contract.
+a stored catalog over HTTP with overload shedding; the client
+(:mod:`repro.serve.client`) runs the unchanged ABR + predictor session
+loop against the real socket by adapting the wire to the storage read
+contract; and :mod:`repro.serve.failover` spreads that client over a
+replicated tier with circuit breakers, a retry budget, ``Retry-After``
+backoff, and optional hedged requests.
 """
 
 from repro.serve.client import HttpSegmentClient, RemoteStorage, serve_session
-from repro.serve.server import SegmentServer, ServerConfig, ServerHandle, start_server
+from repro.serve.failover import (
+    CircuitBreaker,
+    FailoverConfig,
+    FailoverSegmentClient,
+    ReplicaSet,
+    RetryBudget,
+)
+from repro.serve.server import (
+    SegmentServer,
+    ServerConfig,
+    ServerHandle,
+    ServerStartupError,
+    start_server,
+)
 
 __all__ = [
+    "CircuitBreaker",
+    "FailoverConfig",
+    "FailoverSegmentClient",
     "HttpSegmentClient",
     "RemoteStorage",
+    "ReplicaSet",
+    "RetryBudget",
     "SegmentServer",
     "ServerConfig",
     "ServerHandle",
+    "ServerStartupError",
     "serve_session",
     "start_server",
 ]

@@ -34,7 +34,7 @@ import http.client
 import json
 import socket
 import threading
-from time import perf_counter
+from time import monotonic, perf_counter
 from urllib.parse import urlsplit
 
 from repro.core.errors import (
@@ -50,9 +50,14 @@ from repro.predict.traces import Trace
 from repro.stream.dash import Manifest, SegmentKey
 from repro.stream.qoe import QoEReport
 
+#: HTTP status → taxonomy error. 429 (shed by admission control) and any
+#: unknown 5xx map to :class:`TransientSegmentError` so a shed request is
+#: retryable by policy — failover clients back off and try again (or try
+#: a sibling replica) instead of treating shedding as fatal.
 _STATUS_ERRORS = {
     404: SegmentNotFoundError,
     409: SegmentCorruptError,
+    429: TransientSegmentError,
     503: TransientSegmentError,
     504: SegmentReadTimeout,
 }
@@ -121,10 +126,11 @@ class HttpSegmentClient:
             attempts = 2 if self._served_requests > 0 else 1
             for attempt in range(1, attempts + 1):
                 connection = self._connect()
+                deadline = monotonic() + self.timeout
                 try:
                     connection.request("GET", path)
                     response = connection.getresponse()
-                    body = response.read()
+                    body = self._read_body(connection, response, deadline)
                 except socket.timeout as error:
                     self._drop_connection()
                     raise SegmentReadTimeout(
@@ -143,6 +149,42 @@ class HttpSegmentClient:
                 return response.status, dict(response.getheaders()), body
         raise AssertionError("unreachable: the retry loop always returns")
 
+    def _read_body(self, connection, response, deadline: float) -> bytes:
+        """Drain one response body under the request's *total* deadline.
+
+        A per-recv socket timeout alone cannot catch a slow-loris peer
+        that dribbles one byte per interval — every recv succeeds while
+        the request as a whole never finishes. Reading incrementally and
+        re-arming the socket with the remaining budget bounds the entire
+        request by ``timeout`` seconds of wall clock.
+        """
+        chunks: list[bytes] = []
+        while True:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                raise socket.timeout(
+                    f"response body still arriving at the {self.timeout:.3f}s deadline"
+                )
+            if connection.sock is not None:
+                connection.sock.settimeout(remaining)
+            chunk = response.read1(65536)
+            if not chunk:
+                if response.length:
+                    # EOF with Content-Length bytes still owed: a
+                    # mid-body disconnect, not a complete response.
+                    raise http.client.IncompleteRead(
+                        b"".join(chunks), response.length
+                    )
+                # read1 drains Content-Length without ever marking the
+                # response closed; close it explicitly or the next
+                # getresponse() on this connection raises
+                # ResponseNotReady.
+                response.close()
+                if connection.sock is not None:
+                    connection.sock.settimeout(self.timeout)
+                return b"".join(chunks)
+            chunks.append(chunk)
+
     @staticmethod
     def _raise_for_status(status: int, headers: dict, body: bytes, path: str) -> None:
         if status == 200:
@@ -153,7 +195,17 @@ class HttpSegmentClient:
             detail = body[:200].decode("utf-8", "replace")
         error_name = headers.get("X-Error", "")
         message = f"GET {path} -> {status} {error_name}: {detail}"
-        raise _STATUS_ERRORS.get(status, TransientSegmentError)(message)
+        error = _STATUS_ERRORS.get(status, TransientSegmentError)(message)
+        # Carry the wire facts for retry policy: the status, and the
+        # server's Retry-After hint (seconds) when it shed the request.
+        error.status = status
+        retry_after = headers.get("Retry-After")
+        if retry_after is not None:
+            try:
+                error.retry_after = float(retry_after)
+            except ValueError:
+                pass
+        raise error
 
     # -- endpoints ------------------------------------------------------------
 
@@ -235,20 +287,27 @@ class RemoteStorage:
 
 
 def serve_session(
-    base_url: str,
+    base_url,
     name: str,
     trace: Trace,
     config: SessionConfig,
     registry: MetricsRegistry | None = None,
     prediction: PredictionService | None = None,
+    failover=None,
 ) -> QoEReport:
-    """Run one complete wire session against a segment server.
+    """Run one complete wire session against a segment server (or tier).
 
     The full simulated-path session loop (prediction, ABR, resilient
     window assembly, playback accounting) with every segment fetched
     over HTTP. ``prediction`` carries trained Markov priors when the
     caller has them; omitted, an untrained service is used (fine for
     every predictor except ``markov``).
+
+    ``base_url`` is one server's URL, or a list of replica URLs — the
+    latter streams through a
+    :class:`~repro.serve.failover.FailoverSegmentClient` (circuit
+    breakers, retry budget, ``Retry-After`` backoff), tuned by the
+    optional ``failover`` :class:`~repro.serve.failover.FailoverConfig`.
     """
     if config.evaluate_quality:
         raise ValueError(
@@ -256,7 +315,13 @@ def serve_session(
             "available over the wire; run the PSNR probe on the server side"
         )
     metrics = registry if registry is not None else MetricsRegistry()
-    with HttpSegmentClient(base_url) as client:
+    if isinstance(base_url, str) and failover is None:
+        client = HttpSegmentClient(base_url)
+    else:
+        from repro.serve.failover import FailoverSegmentClient
+
+        client = FailoverSegmentClient(base_url, config=failover, registry=metrics)
+    with client:
         storage = RemoteStorage(client, registry=metrics)
         service = prediction if prediction is not None else PredictionService(registry=metrics)
         streamer = Streamer(storage, service, registry=metrics)

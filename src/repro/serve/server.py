@@ -28,6 +28,14 @@ every response. A client that stops reading fills its own queue and
 stalls only its own pipeline — the reader blocks on ``put`` instead of
 buffering unboundedly.
 
+Admission control is load *shedding*, not queueing: past
+``max_inflight`` concurrently-dispatching requests the server answers
+``503`` immediately (with a ``Retry-After`` hint) instead of letting
+latency grow unboundedly, and a connection that exceeds its
+``max_connection_requests`` budget gets ``429`` + ``Retry-After`` and is
+closed — both counted in the ``serve.shed`` counter with the live
+``serve.inflight`` gauge alongside.
+
 Shutdown is drain-then-close: stop accepting, let every queued response
 flush (bounded by ``drain_timeout``), then cancel stragglers and release
 the thread pool.
@@ -66,6 +74,9 @@ class ServerConfig:
     queue_depth: int = 32  # bounded per-connection response queue
     read_timeout: float | None = 5.0  # seconds per storage read; None = unbounded
     drain_timeout: float = 5.0  # graceful-shutdown flush budget
+    max_inflight: int | None = None  # concurrent dispatches before 503 shed
+    max_connection_requests: int | None = None  # per-connection budget before 429
+    retry_after: float = 0.5  # Retry-After hint (seconds) on shed responses
 
     def __post_init__(self) -> None:
         if self.read_workers < 1:
@@ -76,6 +87,14 @@ class ServerConfig:
             raise ValueError(f"read_timeout must be positive, got {self.read_timeout}")
         if self.drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_connection_requests is not None and self.max_connection_requests < 1:
+            raise ValueError(
+                f"max_connection_requests must be >= 1, got {self.max_connection_requests}"
+            )
+        if self.retry_after <= 0:
+            raise ValueError(f"retry_after must be positive, got {self.retry_after}")
 
 
 def _status_for(error: BaseException) -> int:
@@ -98,6 +117,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -110,6 +130,7 @@ class _Response:
     body: bytes
     content_type: str = "application/octet-stream"
     error: str = ""  # exception class name, sent as X-Error
+    retry_after: float | None = None  # seconds, sent as Retry-After
 
     def encode(self, keep_alive: bool) -> bytes:
         reason = _REASONS.get(self.status, "Unknown")
@@ -121,6 +142,8 @@ class _Response:
         ]
         if self.error:
             head.append(f"X-Error: {self.error}")
+        if self.retry_after is not None:
+            head.append(f"Retry-After: {self.retry_after:g}")
         return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + self.body
 
 
@@ -177,6 +200,15 @@ class SegmentServer:
         self._gauge_connections = self.metrics.gauge(
             "serve.connections", "open client connections"
         )
+        # Admission control state: the loop is single-threaded, so the
+        # in-flight count needs no lock — only the gauge mirror is shared.
+        self._inflight = 0
+        self._shed = self.metrics.counter(
+            "serve.shed", "requests refused by admission control"
+        )
+        self._gauge_inflight = self.metrics.gauge(
+            "serve.inflight", "requests currently dispatching"
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -232,6 +264,7 @@ class SegmentServer:
         queue: asyncio.Queue[bytes | None] = asyncio.Queue(self.config.queue_depth)
         writer_task = asyncio.create_task(self._write_loop(queue, writer))
         assert self._drain is not None
+        served_on_connection = 0
         try:
             while not self._drain.is_set():
                 request = await self._next_request(reader)
@@ -239,13 +272,35 @@ class SegmentServer:
                     break
                 method, path, keep_alive = request
                 started = perf_counter()
+                served_on_connection += 1
                 if method != "GET":
                     response = _Response(
                         405, b"", content_type="text/plain", error="MethodNotAllowed"
                     )
                     keep_alive = False
                 else:
-                    response = await self._dispatch(path)
+                    budget = self.config.max_connection_requests
+                    if budget is not None and served_on_connection > budget:
+                        # The connection spent its request budget: shed
+                        # with 429 and close so the client reconnects
+                        # (or fails over) after the hint.
+                        response = self._shed_response(429, "connection_budget")
+                        keep_alive = False
+                    elif (
+                        self.config.max_inflight is not None
+                        and self._inflight >= self.config.max_inflight
+                    ):
+                        # Overloaded: answer immediately instead of
+                        # queueing — bounded latency for admitted work.
+                        response = self._shed_response(503, "overload")
+                    else:
+                        self._inflight += 1
+                        self._gauge_inflight.set(self._inflight)
+                        try:
+                            response = await self._dispatch(path)
+                        finally:
+                            self._inflight -= 1
+                            self._gauge_inflight.set(self._inflight)
                 endpoint = path.split("/", 2)[1] if path.count("/") else path
                 self._requests.inc(endpoint=endpoint, status=str(response.status))
                 self._bytes.inc(len(response.body))
@@ -330,6 +385,19 @@ class SegmentServer:
 
     # -- request dispatch -----------------------------------------------------
 
+    def _shed_response(self, status: int, reason: str) -> _Response:
+        self._shed.inc(reason=reason)
+        body = json.dumps(
+            {"error": "TransientSegmentError", "detail": f"request shed: {reason}"}
+        )
+        return _Response(
+            status,
+            body.encode("utf-8"),
+            content_type="application/json",
+            error="TransientSegmentError",
+            retry_after=self.config.retry_after,
+        )
+
     async def _dispatch(self, path: str) -> _Response:
         parts = [part for part in path.split("?", 1)[0].split("/") if part]
         try:
@@ -377,15 +445,26 @@ class SegmentServer:
             ) from None
 
 
+class ServerStartupError(RuntimeError):
+    """The server's loop thread did not come up with a bound port."""
+
+
 class ServerHandle:
     """A :class:`SegmentServer` running its event loop in a daemon thread.
 
     The synchronous face of the server for tests, the CLI, and the bench
     driver: construct, read ``base_url``, call :meth:`stop` (or use as a
     context manager). Thread-safe to stop more than once.
+
+    Startup is verified, not assumed: the constructor waits on the loop
+    thread's started event *and checks the wait result* — a thread that
+    dies during startup (bind failure, loop setup failure) propagates its
+    exception to the caller instead of handing back a handle with no
+    port; a thread that silently never signals raises
+    :class:`ServerStartupError` rather than letting callers proceed.
     """
 
-    def __init__(self, server: SegmentServer) -> None:
+    def __init__(self, server: SegmentServer, startup_timeout: float = 10.0) -> None:
         self.server = server
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
@@ -395,17 +474,28 @@ class ServerHandle:
             target=self._run, name="segment-server", daemon=True
         )
         self._thread.start()
-        self._started.wait(timeout=10.0)
+        signalled = self._started.wait(timeout=startup_timeout)
+        if not signalled and not self._thread.is_alive():
+            # The thread died without even reaching its exception guard —
+            # give it a beat to flush, then report whatever it recorded.
+            self._thread.join(timeout=1.0)
         if self._failure is not None:
             raise self._failure
         if self._address is None:
-            raise RuntimeError("segment server failed to start within 10s")
+            if not self._thread.is_alive():
+                raise ServerStartupError(
+                    "segment server thread died during startup without "
+                    "reporting an address or an error"
+                )
+            raise ServerStartupError(
+                f"segment server failed to start within {startup_timeout:g}s"
+            )
 
     def _run(self) -> None:
-        asyncio.set_event_loop(self._loop)
         try:
+            asyncio.set_event_loop(self._loop)
             self._address = self._loop.run_until_complete(self.server.start())
-        except BaseException as error:  # surface bind failures to the caller
+        except BaseException as error:  # surface bind/setup failures to the caller
             self._failure = error
             self._started.set()
             return

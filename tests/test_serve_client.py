@@ -243,3 +243,36 @@ class TestRemoteStorageAdapter:
         )
         with pytest.raises(ValueError):
             serve_session("http://127.0.0.1:1", "clip", None, config)
+
+
+class TestStatusMapping:
+    """_raise_for_status: every shed/unknown status stays in the taxonomy."""
+
+    @staticmethod
+    def _raise(status, headers=None, body=b"{}"):
+        HttpSegmentClient._raise_for_status(status, headers or {}, body, "/x")
+
+    def test_429_maps_to_transient(self):
+        with pytest.raises(TransientSegmentError) as caught:
+            self._raise(429, {"Retry-After": "0.5"})
+        assert caught.value.status == 429
+        assert caught.value.retry_after == 0.5
+
+    def test_unknown_5xx_maps_to_transient(self):
+        with pytest.raises(TransientSegmentError) as caught:
+            self._raise(500)
+        assert caught.value.status == 500
+        assert not hasattr(caught.value, "retry_after")
+
+    def test_unparseable_retry_after_is_ignored(self):
+        with pytest.raises(TransientSegmentError) as caught:
+            self._raise(503, {"Retry-After": "soon"})
+        assert not hasattr(caught.value, "retry_after")
+
+    def test_404_and_409_and_504_keep_their_types(self):
+        with pytest.raises(SegmentNotFoundError):
+            self._raise(404)
+        with pytest.raises(SegmentCorruptError):
+            self._raise(409)
+        with pytest.raises(SegmentReadTimeout):
+            self._raise(504)

@@ -153,3 +153,139 @@ class TestShutdown:
         handle = start_server(session_db.storage)
         handle.stop()
         handle.stop()
+
+
+class TestAdmissionControl:
+    """Load shedding: per-connection budgets and the in-flight ceiling."""
+
+    def test_connection_budget_sheds_429_and_closes(self, session_db):
+        import http.client
+
+        handle = start_server(
+            session_db.storage,
+            ServerConfig(max_connection_requests=2, retry_after=1.5),
+        )
+        try:
+            connection = http.client.HTTPConnection(*handle.address)
+            for _ in range(2):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 429
+            assert response.getheader("Retry-After") == "1.5"
+            assert response.getheader("X-Error") == "TransientSegmentError"
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            handle.stop()
+
+    def test_shed_request_maps_to_transient_with_retry_after(self, session_db):
+        from repro.core.errors import TransientSegmentError
+
+        handle = start_server(
+            session_db.storage,
+            ServerConfig(max_connection_requests=1, retry_after=0.25),
+        )
+        try:
+            with HttpSegmentClient(handle.base_url) as client:
+                client.fetch_metrics()
+                with pytest.raises(TransientSegmentError) as caught:
+                    client.fetch_metrics()
+                assert caught.value.status == 429
+                assert caught.value.retry_after == 0.25
+        finally:
+            handle.stop()
+
+    def test_inflight_ceiling_sheds_503(self, session_db):
+        import time
+
+        from repro.core.errors import TransientSegmentError
+        from repro.obs import MetricsRegistry
+        from repro.serve.server import SegmentServer, ServerHandle
+        from repro.stream.dash import SegmentKey
+
+        class SlowStorage:
+            def __init__(self, inner, delay):
+                self.inner = inner
+                self.delay = delay
+
+            def build_manifest(self, name):
+                return self.inner.build_manifest(name)
+
+            def read_segment(self, *args, **kwargs):
+                time.sleep(self.delay)
+                return self.inner.read_segment(*args, **kwargs)
+
+        manifest = session_db.storage.build_manifest("clip")
+        key = next(iter(sorted(manifest.segment_sizes, key=lambda k: k.to_path())))
+        registry = MetricsRegistry()
+        handle = ServerHandle(
+            SegmentServer(
+                SlowStorage(session_db.storage, 0.3),
+                ServerConfig(max_inflight=1, retry_after=0.1),
+                registry,
+            )
+        )
+        try:
+            outcomes: list[object] = []
+
+            def fetch():
+                with HttpSegmentClient(handle.base_url) as client:
+                    try:
+                        outcomes.append(client.fetch_segment("clip", key))
+                    except TransientSegmentError as error:
+                        outcomes.append(error)
+
+            threads = [threading.Thread(target=fetch) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            shed = [
+                outcome
+                for outcome in outcomes
+                if isinstance(outcome, TransientSegmentError)
+            ]
+            served = [outcome for outcome in outcomes if isinstance(outcome, bytes)]
+            assert served, "the admitted request(s) must still be served"
+            assert shed, "6 concurrent requests past a ceiling of 1 must shed"
+            assert all(error.status == 503 for error in shed)
+            assert all(error.retry_after == 0.1 for error in shed)
+            snapshot = registry.snapshot()
+            assert snapshot["counters"].get("serve.shed{reason=overload}", 0) >= 1
+            assert snapshot["gauges"].get("serve.inflight") == 0.0
+        finally:
+            handle.stop()
+
+
+class TestStartupVerification:
+    """ServerHandle.start() must verify, not assume, that the loop came up."""
+
+    def test_bind_conflict_propagates_the_real_error(self, session_db):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with pytest.raises(OSError):
+                start_server(session_db.storage, ServerConfig(port=port))
+        finally:
+            blocker.close()
+
+    def test_loop_setup_failure_fails_fast_with_cause(self, session_db, monkeypatch):
+        import asyncio
+        import time
+
+        def explode(loop):
+            raise RuntimeError("loop exploded")
+
+        monkeypatch.setattr(asyncio, "set_event_loop", explode)
+        started = time.perf_counter()
+        with pytest.raises(RuntimeError, match="loop exploded"):
+            start_server(session_db.storage)
+        # The pre-fix behaviour was a silent 10s hang (the wait() result
+        # was ignored) followed by an assertion with no cause attached.
+        assert time.perf_counter() - started < 5.0
