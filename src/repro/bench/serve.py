@@ -1,43 +1,52 @@
 """Wire delivery load harness: ``python -m repro.bench.serve``.
 
-Starts one asyncio segment server over a freshly ingested store and
-drives N *concurrent* wire sessions against it from client threads —
-each session the full ABR + predictor + resilient-assembly loop of the
-simulated path, every segment fetched over a real localhost socket.
+Two phases over one freshly ingested store:
 
-Three things are measured and checked:
+**QoE phase** — drives N *concurrent* wire sessions (the full ABR +
+predictor + resilient-assembly loop, every segment over a real localhost
+socket) and checks the delivery invariants:
 
-1. **Sustained concurrency** — all N sessions run to completion; the
-   report records wall time, aggregate request and byte throughput, and
-   the server's per-request latency percentiles straight from the shared
-   metrics registry (the ``/metrics`` endpoint, so the numbers are the
-   ones operators would scrape).
-2. **Chaos invariants, no-fault edition** — with a healthy store the
+1. **Chaos invariants, no-fault edition** — with a healthy store the
    wire must deliver flawlessly: every session covers every window,
    zero degradation events, zero skipped tiles. Any violation fails the
    run (exit 1), mirroring the scenario runner's verdicts.
-3. **Sim/wire equivalence** — each session's QoE summary must equal a
+2. **Sim/wire equivalence** — each session's QoE summary must equal a
    simulated-path run of the same trace and config (the differential
    acceptance criterion), since playback timing follows the same
    bandwidth model on both paths.
 
+**Load phase** — the saturating driver: hundreds of lightweight
+keep-alive connections issue pipelined GETs over a Zipf-skewed segment
+popularity distribution (the request shape viewport-adaptive tiled
+delivery actually sees), with a warmup period excluded and a fixed
+measurement window, in three server modes — single process unpinned,
+single process with the RAM hot set pinned, and ``processes=N`` workers
+sharing the port via SO_REUSEPORT. Each mode reports requests/s and
+client-observed p50/p90/p99 (measured send-to-last-byte per pipelined
+batch, so the quantiles are conservative), plus the server's own merged
+``/metrics`` view as a cross-check.
+
 ``--replicas N`` serves the same store from N servers and streams every
 session through the failover client; ``--kill-after T`` hard-stops
 replica 0 mid-run (requires ``--replicas >= 2``). In that mode the bench
-measures failover QoE instead of sim-equivalence: every session must
-still complete every window with zero escaped errors, and the report
-gains a ``failover`` section (failovers, retries, degradations, budget
-spend) so the cost of the outage is visible, not just survived.
+measures failover QoE instead of sim-equivalence (and skips the load
+phase): every session must still complete every window with zero escaped
+errors, and the report gains a ``failover`` section (failovers, retries,
+degradations, budget spend) so the cost of the outage is visible, not
+just survived.
 
 Writes ``BENCH_serve.json``. Run with ``--smoke`` in CI for a
-seconds-long pass with 4 sessions.
+seconds-long pass with 4 sessions and a 1-second measurement window.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
+import os
+import random
 import sys
 import tempfile
 import threading
@@ -106,6 +115,220 @@ def _check_invariants(
         if require_sim_match and not result["matches_sim"]:
             violations.append(
                 f"session {session} wire QoE diverged from the simulated path"
+            )
+    return violations
+
+
+def _sessions_summary(results: list[dict], window_count: int) -> dict:
+    """The aggregate view that replaced the per-session array: diffable
+    at thousands of sessions, and everything the validators check."""
+    return {
+        "sessions": len(results),
+        "completed": sum(1 for r in results if not r.get("error")),
+        "errors": sum(1 for r in results if r.get("error")),
+        "windows_ok": sum(
+            1 for r in results if r.get("windows") == window_count
+        ),
+        "degradations": sum(r.get("degradations", 0) for r in results),
+        "skips": sum(r.get("skips", 0) for r in results),
+        "bytes": sum(r.get("bytes", 0) for r in results),
+        "matches_sim": sum(1 for r in results if r.get("matches_sim")),
+    }
+
+
+# -- the saturating load driver -----------------------------------------------
+
+
+def _zipf_paths(manifest, name: str, seed: int, count: int = 4096) -> list[str]:
+    """A Zipf-skewed request sequence over the stored segments.
+
+    Viewport-adaptive delivery concentrates on a small equatorial hot
+    set; rank-1/r^1.1 over a seeded shuffle reproduces that shape
+    deterministically.
+    """
+    keys = sorted(manifest.segment_sizes, key=lambda key: key.to_path())
+    rng = random.Random(seed)
+    rng.shuffle(keys)
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(keys))]
+    paths = [f"/segment/{name}/{key.to_path()}" for key in keys]
+    return rng.choices(paths, weights=weights, k=count)
+
+
+async def _drive_load(
+    host: str,
+    port: int,
+    paths: list[str],
+    connections: int,
+    warmup: float,
+    measure: float,
+    pipeline: int,
+) -> dict:
+    """Open-loop-style saturation: ``connections`` keep-alive sockets,
+    each issuing ``pipeline`` back-to-back GETs per round, for a fixed
+    wall-clock window with warmup excluded.
+
+    Latency is measured batch-send to response-complete, so with
+    ``pipeline > 1`` every quantile *includes* in-batch queueing — the
+    conservative direction for the p99 acceptance bound.
+    """
+    requests = [
+        f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode("ascii")
+        for path in paths
+    ]
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    warm_end = started + warmup
+    end = warm_end + measure
+    latencies: list[float] = []
+    counts = {"requests": 0, "warmup": 0, "tail": 0, "errors": 0, "bytes": 0}
+    total = len(requests)
+
+    async def worker(offset: int) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            counts["errors"] += 1
+            return
+        index = offset
+        try:
+            while loop.time() < end:
+                payload = b"".join(
+                    requests[(index + step) % total] for step in range(pipeline)
+                )
+                sent = loop.time()
+                writer.write(payload)
+                await writer.drain()
+                for _ in range(pipeline):
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n")[1:]:
+                        if line[:15].lower() == b"content-length:":
+                            length = int(line[15:])
+                    if length:
+                        await reader.readexactly(length)
+                    finish = loop.time()
+                    if not head.startswith(b"HTTP/1.1 200"):
+                        counts["errors"] += 1
+                    elif finish < warm_end:
+                        counts["warmup"] += 1
+                    elif finish > end:
+                        counts["tail"] += 1
+                    else:
+                        counts["requests"] += 1
+                        counts["bytes"] += length
+                        latencies.append(finish - sent)
+                index += pipeline
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            counts["errors"] += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # Spread each connection's start offset so the fleet doesn't sweep
+    # the path list in lockstep.
+    await asyncio.gather(*(worker(index * 37) for index in range(connections)))
+
+    latencies.sort()
+
+    def quantile(q: float) -> float:
+        if not latencies:
+            return math.nan
+        return latencies[min(len(latencies) - 1, max(0, round(q * (len(latencies) - 1))))]
+
+    return {
+        **counts,
+        "seconds": measure,
+        "requests_per_second": counts["requests"] / measure if measure else 0.0,
+        "bytes_per_second": counts["bytes"] / measure if measure else 0.0,
+        "latency_ms": {
+            "mean": (sum(latencies) / len(latencies)) * 1e3 if latencies else math.nan,
+            "p50": quantile(0.5) * 1e3,
+            "p90": quantile(0.9) * 1e3,
+            "p99": quantile(0.99) * 1e3,
+            "max": latencies[-1] * 1e3 if latencies else math.nan,
+        },
+    }
+
+
+def _load_modes(args) -> list[tuple[str, ServerConfig]]:
+    base = dict(
+        read_workers=args.read_workers,
+        queue_depth=args.queue_depth,
+        drain_timeout=2.0,
+    )
+    pinned = dict(
+        pin_budget_bytes=args.pin_budget,
+        pin_threshold=1,
+        prewarm=("bench",),
+    )
+    return [
+        ("1proc", ServerConfig(**base)),
+        ("1proc-pinned", ServerConfig(**base, **pinned)),
+        (
+            f"{args.processes}proc-pinned",
+            ServerConfig(**base, **pinned, processes=args.processes),
+        ),
+    ]
+
+
+def _run_load_phase(storage: StorageManager, args) -> list[dict]:
+    manifest = storage.build_manifest("bench")
+    paths = _zipf_paths(manifest, "bench", args.seed)
+    modes: list[dict] = []
+    for name, config in _load_modes(args):
+        registry = MetricsRegistry() if config.processes == 1 else None
+        handle = start_server(storage, config, registry=registry)
+        try:
+            host, port = handle.address
+            stats = asyncio.run(
+                _drive_load(
+                    host,
+                    port,
+                    paths,
+                    args.connections,
+                    args.warmup,
+                    args.measure_seconds,
+                    args.pipeline,
+                )
+            )
+            with HttpSegmentClient(handle.base_url) as probe:
+                snapshot = probe.fetch_metrics()
+        finally:
+            handle.stop()
+        counters = snapshot.get("counters", {})
+        modes.append(
+            {
+                "mode": name,
+                "processes": config.processes,
+                "pinned": config.pin_budget_bytes > 0,
+                **stats,
+                "server": {
+                    "workers": snapshot.get("workers", 1),
+                    "requests_total": sum(
+                        value
+                        for key, value in counters.items()
+                        if key.startswith("serve.requests")
+                    ),
+                    "pin_hits": counters.get("serve.pin_hits", 0.0),
+                },
+            }
+        )
+    return modes
+
+
+def _check_load_invariants(modes: list[dict]) -> list[str]:
+    violations: list[str] = []
+    for mode in modes:
+        if mode["requests"] == 0:
+            violations.append(f"load mode {mode['mode']} completed zero requests")
+            continue
+        if mode["errors"] > 0.01 * mode["requests"]:
+            violations.append(
+                f"load mode {mode['mode']} had {mode['errors']} errors over "
+                f"{mode['requests']} requests"
             )
     return violations
 
@@ -228,12 +451,20 @@ def run(args: argparse.Namespace) -> dict:
                 except Exception:  # noqa: BLE001 — already killed mid-run
                     pass
 
+        # Saturating load phase: single-server raw-speed modes. Skipped
+        # in failover mode, which measures outage QoE instead.
+        load_modes = [] if (failover_mode or args.skip_load) else _run_load_phase(
+            storage, args
+        )
+
     violations = _check_invariants(
         results,
         manifest.window_count,
         require_sim_match=not failover_mode,
         require_no_degradation=args.kill_after is None,
     )
+    violations.extend(_check_load_invariants(load_modes))
+    metrics.pop("spans", None)  # per-request debug detail, not a bench artifact
     counters = metrics["counters"]
     histograms = metrics["histograms"]
     segment_latency = histograms.get("serve.request_seconds{endpoint=segment}", {})
@@ -244,6 +475,10 @@ def run(args: argparse.Namespace) -> dict:
     )
     bytes_sent = counters.get("serve.bytes_sent", 0.0)
     ok_sessions = sum(1 for result in results if not result.get("error"))
+    peak = max(
+        (mode["requests_per_second"] for mode in load_modes),
+        default=requests_total / wall_seconds if wall_seconds else 0.0,
+    )
 
     report = {
         "params": {
@@ -261,20 +496,30 @@ def run(args: argparse.Namespace) -> dict:
             "queue_depth": args.queue_depth,
             "replicas": args.replicas,
             "kill_after": args.kill_after,
+            "cpu_count": os.cpu_count(),
+            "processes": args.processes,
+            "pin_budget_bytes": args.pin_budget,
+            "connections": args.connections,
+            "warmup_seconds": args.warmup,
+            "measure_seconds": args.measure_seconds,
+            "pipeline": args.pipeline,
         },
         "wall_seconds": wall_seconds,
         "sessions_completed": ok_sessions,
         "sessions_per_second": ok_sessions / wall_seconds if wall_seconds else 0.0,
         "requests_total": requests_total,
-        "requests_per_second": requests_total / wall_seconds if wall_seconds else 0.0,
+        "requests_per_second": peak,
+        "qoe_requests_per_second": requests_total / wall_seconds if wall_seconds else 0.0,
         "bytes_sent": bytes_sent,
         "bytes_per_second": bytes_sent / wall_seconds if wall_seconds else 0.0,
         "segment_latency_seconds": segment_latency,
         "invariants": {
-            "violations": violations,
+            "violations": violations[:50],
+            "violation_count": len(violations),
             "ok": not violations,
         },
-        "sessions": results,
+        "sessions_summary": _sessions_summary(results, manifest.window_count),
+        "load": {"modes": load_modes},
         "metrics": metrics,
     }
     if failover_mode:
@@ -301,13 +546,13 @@ def run(args: argparse.Namespace) -> dict:
         return f"{value * 1e3:.2f}" if isinstance(value, float) else "n/a"
 
     emit_table(
-        "wire delivery",
+        "wire delivery (QoE phase)",
         [
             {
                 "sessions": args.sessions,
                 "completed": ok_sessions,
                 "wall s": f"{wall_seconds:.2f}",
-                "req/s": f"{report['requests_per_second']:.0f}",
+                "req/s": f"{report['qoe_requests_per_second']:.0f}",
                 "sent": format_bytes(bytes_sent),
                 "p50 ms": fmt_quantile("p50"),
                 "p90 ms": fmt_quantile("p90"),
@@ -316,6 +561,23 @@ def run(args: argparse.Namespace) -> dict:
             }
         ],
     )
+    if load_modes:
+        emit_table(
+            "saturating load",
+            [
+                {
+                    "mode": mode["mode"],
+                    "req/s": f"{mode['requests_per_second']:.0f}",
+                    "p50 ms": f"{mode['latency_ms']['p50']:.2f}",
+                    "p90 ms": f"{mode['latency_ms']['p90']:.2f}",
+                    "p99 ms": f"{mode['latency_ms']['p99']:.2f}",
+                    "errors": mode["errors"],
+                    "workers": mode["server"]["workers"],
+                    "pin hits": f"{mode['server']['pin_hits']:.0f}",
+                }
+                for mode in load_modes
+            ],
+        )
     if failover_mode:
         failover = report["failover"]
         emit_table(
@@ -367,6 +629,47 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="hard-stop replica 0 this many seconds into the run",
     )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=128,
+        help="concurrent keep-alive sockets in the saturating load phase",
+    )
+    parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=4,
+        help="back-to-back GETs per connection round (HTTP/1.1 pipelining)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=1.0,
+        help="seconds of load excluded from the measurement window",
+    )
+    parser.add_argument(
+        "--measure-seconds",
+        type=float,
+        default=5.0,
+        help="fixed measurement window per load mode",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=max(2, min(4, os.cpu_count() or 1)),
+        help="worker processes for the multi-process load mode",
+    )
+    parser.add_argument(
+        "--pin-budget",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="hot-set pin budget (bytes) for the pinned load modes",
+    )
+    parser.add_argument(
+        "--skip-load",
+        action="store_true",
+        help="run only the QoE phase (the pre-saturation bench shape)",
+    )
     parser.add_argument("--output", default="BENCH_serve.json")
     parser.add_argument(
         "--smoke",
@@ -378,12 +681,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--replicas must be >= 1")
     if args.kill_after is not None and args.replicas < 2:
         parser.error("--kill-after needs --replicas >= 2 (a survivor must remain)")
+    if args.connections < 1:
+        parser.error("--connections must be >= 1")
+    if args.pipeline < 1:
+        parser.error("--pipeline must be >= 1")
+    if args.processes < 2:
+        parser.error("--processes must be >= 2 (it names the multi-process mode)")
     if args.smoke:
         args.sessions = min(args.sessions, 4)
         args.width, args.height = 64, 32
         args.duration = min(args.duration, 2.0)
         args.grid = "2x2"
         args.gop_frames = 5
+        args.connections = min(args.connections, 32)
+        args.warmup = min(args.warmup, 0.3)
+        args.measure_seconds = min(args.measure_seconds, 1.0)
     report = run(args)
     return 0 if report["invariants"]["ok"] else 1
 

@@ -163,6 +163,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard-stop replica 0 this many seconds into the run "
         "(needs --replicas >= 2)",
     )
+    bench_serve.add_argument(
+        "--connections",
+        type=int,
+        default=128,
+        help="concurrent sockets in the saturating load phase",
+    )
+    bench_serve.add_argument(
+        "--pipeline",
+        type=int,
+        default=4,
+        help="back-to-back GETs per connection round",
+    )
+    bench_serve.add_argument(
+        "--warmup", type=float, default=1.0, help="seconds excluded from measurement"
+    )
+    bench_serve.add_argument(
+        "--measure-seconds",
+        type=float,
+        default=5.0,
+        help="fixed measurement window per load mode",
+    )
+    bench_serve.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for the multi-process load mode",
+    )
+    bench_serve.add_argument(
+        "--pin-budget",
+        type=int,
+        default=None,
+        help="hot-set pin budget in bytes for the pinned load modes",
+    )
+    bench_serve.add_argument(
+        "--skip-load",
+        action="store_true",
+        help="run only the QoE phase (no saturating load modes)",
+    )
     bench_serve.add_argument("--output", default="BENCH_serve.json")
     bench_serve.add_argument("--smoke", action="store_true")
 
@@ -437,10 +475,20 @@ def _command_bench_serve(db: VisualCloud, args) -> int:
         "--sessions", str(args.sessions),
         "--bandwidth", str(args.bandwidth),
         "--replicas", str(args.replicas),
+        "--connections", str(args.connections),
+        "--pipeline", str(args.pipeline),
+        "--warmup", str(args.warmup),
+        "--measure-seconds", str(args.measure_seconds),
         "--output", args.output,
     ]
     if args.kill_after is not None:
         argv += ["--kill-after", str(args.kill_after)]
+    if args.processes is not None:
+        argv += ["--processes", str(args.processes)]
+    if args.pin_budget is not None:
+        argv += ["--pin-budget", str(args.pin_budget)]
+    if args.skip_load:
+        argv.append("--skip-load")
     if args.smoke:
         argv.append("--smoke")
     return bench_serve_main(argv)

@@ -299,6 +299,18 @@ class StorageManager:
             if cache_bytes > 0
             else None
         )
+        # Hot-path series, bound once: read_segment runs per request on
+        # the serve path, and a get-or-create plus label canonicalisation
+        # per call is measurable at saturation.
+        self._segments_read = self.metrics.counter(
+            "storage.segments_read", "segment reads served"
+        ).labels()
+        self._bytes_read = self.metrics.counter(
+            "storage.bytes_read", "segment bytes served"
+        ).labels()
+        self._windows_assembled = self.metrics.counter(
+            "storage.windows_assembled", "delivery windows built"
+        ).labels()
 
     # -- catalog passthroughs -------------------------------------------------
 
@@ -731,8 +743,8 @@ class StorageManager:
                 # segment share one file read instead of stampeding the
                 # filesystem.
                 data = self.segment_cache.get_or_load(cache_key, load)
-        self.metrics.counter("storage.segments_read", "segment reads served").inc()
-        self.metrics.counter("storage.bytes_read", "segment bytes served").inc(len(data))
+        self._segments_read.inc()
+        self._bytes_read.inc(len(data))
         return data
 
     def read_window(
@@ -753,7 +765,7 @@ class StorageManager:
                 tile: self.read_segment(name, gop, tile, quality, version)
                 for tile, quality in quality_map.items()
             }
-        self.metrics.counter("storage.windows_assembled", "delivery windows built").inc()
+        self._windows_assembled.inc()
         return TiledGop(
             width=meta.width,
             height=meta.height,

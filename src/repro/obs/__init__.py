@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
     QUANTILES,
+    merge_snapshots,
 )
 from repro.obs.tracing import SpanRecord, Tracer
 
@@ -25,4 +26,5 @@ __all__ = [
     "QUANTILES",
     "SpanRecord",
     "Tracer",
+    "merge_snapshots",
 ]

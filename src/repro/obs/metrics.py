@@ -47,6 +47,8 @@ QUANTILES = (0.5, 0.9, 0.99)
 
 
 def _label_key(labels: dict) -> LabelKey:
+    if not labels:
+        return ()
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
@@ -84,6 +86,44 @@ class Metric:
             return dict(self._series)
 
 
+class BoundCounter:
+    """A counter pre-bound to one label set.
+
+    The serve hot path increments the same few series millions of times;
+    binding once hoists the label canonicalisation (sort + stringify)
+    out of the per-request cost, leaving a dict add under the lock.
+    """
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: "Counter", key: LabelKey) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._series[self._key] = metric._series.get(self._key, 0.0) + amount
+
+
+class BoundHistogram:
+    """A histogram series pre-bound to one label set (see BoundCounter)."""
+
+    __slots__ = ("_metric", "_series")
+
+    def __init__(self, metric: "Histogram", key: LabelKey) -> None:
+        self._metric = metric
+        with metric._lock:
+            series = metric._series.get(key)
+            if series is None:
+                series = metric._series[key] = _HistogramSeries(metric._keep)
+        self._series = series
+
+    def observe(self, value: float) -> None:
+        with self._metric._lock:
+            self._series.observe(float(value))
+
+
 class Counter(Metric):
     """A monotonically increasing count (events, bytes, waits)."""
 
@@ -95,6 +135,10 @@ class Counter(Metric):
         key = _label_key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + amount
+
+    def labels(self, **labels) -> BoundCounter:
+        """Bind one label set for repeated hot-path increments."""
+        return BoundCounter(self, _label_key(labels))
 
     def value(self, **labels) -> float:
         with self._lock:
@@ -154,7 +198,7 @@ class _HistogramSeries:
         index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[index]
 
-    def summary(self) -> dict:
+    def summary(self, include_samples: bool = False) -> dict:
         if self.count == 0:
             return {"count": 0, "sum": 0.0}
         ordered = sorted(self.samples)
@@ -162,7 +206,7 @@ class _HistogramSeries:
         def at(q: float) -> float:
             return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
 
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
@@ -170,6 +214,9 @@ class _HistogramSeries:
             "mean": self.total / self.count,
             **{f"p{int(q * 100)}": at(q) for q in QUANTILES},
         }
+        if include_samples:
+            out["samples"] = list(self.samples)
+        return out
 
 
 class Histogram(Metric):
@@ -219,6 +266,10 @@ class Histogram(Metric):
             series = self._series.get(_label_key(labels))
             return {"count": 0, "sum": 0.0} if series is None else series.summary()
 
+    def labels(self, **labels) -> BoundHistogram:
+        """Bind one label set for repeated hot-path observations."""
+        return BoundHistogram(self, _label_key(labels))
+
 
 class MetricsRegistry:
     """A named collection of metrics plus a span tracer.
@@ -263,7 +314,7 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """A JSON-able dump of every series, plus recent spans.
 
         Shape::
@@ -273,6 +324,10 @@ class MetricsRegistry:
              "histograms": {"storage.read_segment.seconds":
                                 {"count": .., "sum": .., "p50": .., ...}},
              "spans":      [{"name": .., "attrs": .., "seconds": ..}, ...]}
+
+        With ``include_samples`` each histogram summary also carries its
+        sliding sample window, so a sibling process can pool the samples
+        into cross-worker quantiles (see :func:`merge_snapshots`).
         """
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
@@ -285,7 +340,7 @@ class MetricsRegistry:
                 elif isinstance(metric, Gauge):
                     gauges[rendered] = float(series)
                 elif isinstance(metric, Histogram):
-                    histograms[rendered] = series.summary()
+                    histograms[rendered] = series.summary(include_samples)
         return {
             "counters": counters,
             "gauges": gauges,
@@ -321,3 +376,64 @@ class MetricsRegistry:
                 for key, value in sorted(series.items()):
                     lines.append(f"{prom_name}{_prom_labels(key)} {float(value):.9g}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold per-worker ``snapshot()`` dicts into one fleet-wide view.
+
+    Counters and gauges sum per series (gauges here are sizes — pinned
+    bytes, in-flight requests — where the fleet total is the meaningful
+    number). Histograms keep exact count/sum/min/max arithmetic; the
+    quantiles come from pooling the workers' sample windows when present
+    (``snapshot(include_samples=True)``), else from a count-weighted
+    average of the per-worker quantiles as a fallback. Spans are
+    per-process debugging detail and are dropped from the merged view.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    series: dict[str, list[dict]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, summary in snap.get("histograms", {}).items():
+            series.setdefault(name, []).append(summary)
+
+    histograms: dict[str, dict] = {}
+    for name, parts in series.items():
+        live = [part for part in parts if part.get("count", 0) > 0]
+        if not live:
+            histograms[name] = {"count": 0, "sum": 0.0}
+            continue
+        count = sum(part["count"] for part in live)
+        total = sum(part["sum"] for part in live)
+        merged = {
+            "count": count,
+            "sum": total,
+            "min": min(part["min"] for part in live),
+            "max": max(part["max"] for part in live),
+            "mean": total / count,
+        }
+        pooled: list[float] = []
+        for part in live:
+            pooled.extend(part.get("samples", ()))
+        if pooled:
+            pooled.sort()
+            last = len(pooled) - 1
+            for q in QUANTILES:
+                merged[f"p{int(q * 100)}"] = pooled[min(last, max(0, round(q * last)))]
+        else:
+            for q in QUANTILES:
+                tag = f"p{int(q * 100)}"
+                merged[tag] = (
+                    sum(part.get(tag, 0.0) * part["count"] for part in live) / count
+                )
+        histograms[name] = merged
+    return {
+        "workers": len(snapshots),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": [],
+    }

@@ -19,6 +19,8 @@ from repro.serve.failover import (
     ReplicaSet,
     RetryBudget,
 )
+from repro.serve.hotset import HotSet, PinnedSegment
+from repro.serve.multiproc import MultiProcessServerHandle
 from repro.serve.server import (
     SegmentServer,
     ServerConfig,
@@ -31,7 +33,10 @@ __all__ = [
     "CircuitBreaker",
     "FailoverConfig",
     "FailoverSegmentClient",
+    "HotSet",
     "HttpSegmentClient",
+    "MultiProcessServerHandle",
+    "PinnedSegment",
     "RemoteStorage",
     "ReplicaSet",
     "RetryBudget",

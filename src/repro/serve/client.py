@@ -226,9 +226,13 @@ class HttpSegmentClient:
         self._raise_for_status(status, headers, body, path)
         return body
 
-    def fetch_metrics(self) -> dict:
-        status, headers, body = self._request("/metrics")
-        self._raise_for_status(status, headers, body, "/metrics")
+    def fetch_metrics(self, local: bool = False) -> dict:
+        """The server's metrics snapshot. In multi-process mode the
+        default ``/metrics`` is the fleet-merged view; ``local=True``
+        asks the answering worker for its own snapshot only."""
+        path = "/metrics/local" if local else "/metrics"
+        status, headers, body = self._request(path)
+        self._raise_for_status(status, headers, body, path)
         return json.loads(body)
 
     def healthy(self) -> bool:

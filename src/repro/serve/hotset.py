@@ -1,0 +1,198 @@
+"""Hot-segment pinning: the serve tier's RAM fast path.
+
+Viewing behaviour over tiled 360 content is Zipf-skewed — most requests
+land on a small equatorial hot set — so a byte-budgeted pin layer in
+front of the storage read path pays for itself quickly. A pinned segment
+is frozen into its *wire form* at pin time: the full immutable header
+block (one variant per ``Connection`` disposition) plus a ``memoryview``
+of the payload, so serving a hit is two ``writer.write`` calls straight
+off the event loop — no executor hop, no cache lock, no per-request
+``bytes`` concatenation.
+
+The header block built here must stay byte-identical to what
+``_Response(200, body).encode(keep_alive)`` produces — the differential
+tests in ``tests/test_serve_hotset.py`` pin that equivalence.
+
+Admission:
+
+* :meth:`HotSet.pin` pins explicitly (startup prewarm from the
+  popularity model, see ``SegmentServer.prewarm_pins``).
+* :meth:`HotSet.record` counts cold-path hits and promotes a path once
+  it reaches ``threshold`` requests — the runtime feedback loop.
+
+Eviction is colder-first and deterministic: a candidate may displace
+pinned entries only when their observed hit counts are strictly lower
+than the candidate's heat, so a prewarmed hot set is not churned by
+one-off requests.
+
+Coherence contract: pinning sits *above* the storage layer's version
+fencing. Segment files are immutable per version, so pinned bytes can
+never silently rot — but an operator who commits a new version (or
+drops a video) while serving must call :meth:`unpin_prefix` for the
+affected paths, exactly as the delivery URL space changes.
+"""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry
+
+
+def _header_block(body_length: int, keep_alive: bool) -> bytes:
+    """The exact bytes ``_Response.encode`` emits for a 200 segment hit."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/octet-stream\r\n"
+        f"Content-Length: {body_length}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("ascii")
+
+
+class PinnedSegment:
+    """One segment frozen into its wire buffers."""
+
+    __slots__ = ("path", "body", "_view", "_keep", "_close", "hits")
+
+    status = 200
+
+    def __init__(self, path: str, body: bytes) -> None:
+        self.path = path
+        self.body = bytes(body)  # no-copy when already bytes
+        self._view = memoryview(self.body)
+        self._keep = (_header_block(len(self.body), True), self._view)
+        self._close = (_header_block(len(self.body), False), self._view)
+        self.hits = 0
+
+    @property
+    def body_length(self) -> int:
+        return len(self.body)
+
+    def parts(self, keep_alive: bool) -> tuple:
+        return self._keep if keep_alive else self._close
+
+
+class HotSet:
+    """A byte-budgeted map of request path → :class:`PinnedSegment`.
+
+    Single-threaded by design: every call happens on the server's event
+    loop (lookup/record per request, pin at startup prewarm), so there
+    are no locks on the hit path — that absence is the point.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        threshold: int,
+        registry: MetricsRegistry,
+        max_tracked: int = 4096,
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError(f"pin budget must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self.threshold = max(1, int(threshold))
+        self.max_tracked = max_tracked
+        self.bytes_pinned = 0
+        self._entries: dict[str, PinnedSegment] = {}
+        self._counts: dict[str, int] = {}
+        self._hits = registry.counter(
+            "serve.pin_hits", "requests served from the pinned hot set"
+        ).labels()
+        self._promotions = registry.counter(
+            "serve.pin_promotions", "segments promoted into the hot set"
+        ).labels()
+        self._evictions = registry.counter(
+            "serve.pin_evictions", "pinned segments evicted for hotter ones"
+        ).labels()
+        self._rejects = registry.counter(
+            "serve.pin_rejects", "pin attempts refused (budget or colder)"
+        ).labels()
+        self._gauge_entries = registry.gauge("serve.pin_entries", "pinned segments")
+        self._gauge_bytes = registry.gauge("serve.pin_bytes", "pinned payload bytes")
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    # -- hit path -------------------------------------------------------------
+
+    def lookup(self, path: str) -> PinnedSegment | None:
+        entry = self._entries.get(path)
+        if entry is not None:
+            entry.hits += 1
+            self._hits.inc()
+        return entry
+
+    # -- admission ------------------------------------------------------------
+
+    def record(self, path: str, body: bytes) -> bool:
+        """Count one cold-path serve; promote at ``threshold`` hits."""
+        if not self.enabled or path in self._entries:
+            return False
+        count = self._counts.pop(path, 0) + 1
+        if count >= self.threshold:
+            return self.pin(path, body, heat=count)
+        if len(self._counts) >= self.max_tracked:
+            # Cheap aging: drop all candidate counts instead of keeping
+            # an unbounded (or LRU-ordered) tracking structure. Genuinely
+            # hot paths re-accumulate within a few requests.
+            self._counts.clear()
+        self._counts[path] = count
+        return False
+
+    def pin(self, path: str, body: bytes, heat: int = 0) -> bool:
+        """Pin ``path`` if it fits the budget, evicting strictly-colder
+        entries; returns whether the path is pinned afterwards."""
+        if not self.enabled:
+            return False
+        if path in self._entries:
+            return True
+        need = len(body)
+        if need > self.budget_bytes:
+            self._rejects.inc()
+            return False
+        while self.bytes_pinned + need > self.budget_bytes:
+            victim = min(self._entries.values(), key=lambda e: (e.hits, e.path))
+            if victim.hits >= heat:
+                self._rejects.inc()
+                return False
+            self._remove(victim.path)
+            self._evictions.inc()
+        entry = PinnedSegment(path, body)
+        self._entries[path] = entry
+        self.bytes_pinned += entry.body_length
+        self._promotions.inc()
+        self._update_gauges()
+        return True
+
+    # -- invalidation ---------------------------------------------------------
+
+    def unpin_prefix(self, prefix: str) -> int:
+        """Drop every pinned entry (and candidate count) under ``prefix``
+        — the coherence hook for reingest/drop while serving."""
+        doomed = [path for path in self._entries if path.startswith(prefix)]
+        for path in doomed:
+            self._remove(path)
+        for path in [p for p in self._counts if p.startswith(prefix)]:
+            del self._counts[path]
+        self._update_gauges()
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._counts.clear()
+        self.bytes_pinned = 0
+        self._update_gauges()
+
+    def _remove(self, path: str) -> None:
+        entry = self._entries.pop(path)
+        self.bytes_pinned -= entry.body_length
+
+    def _update_gauges(self) -> None:
+        self._gauge_entries.set(len(self._entries))
+        self._gauge_bytes.set(self.bytes_pinned)

@@ -1,18 +1,29 @@
 """The asyncio segment-delivery server.
 
-One process, one event loop, one :class:`~repro.core.storage.StorageManager`.
-The loop never touches the disk: every segment read is pushed onto a
+One event loop per process, one :class:`~repro.core.storage.StorageManager`.
+The loop never touches the disk: every cold segment read is pushed onto a
 thread pool (``loop.run_in_executor``), and concurrent misses on the same
 segment collapse inside the pool through the storage manager's
 single-flight :class:`~repro.core.cache.LruSegmentCache` — N headsets
 requesting the same equatorial tile cost one file read.
+
+The hot path is faster still: with ``pin_budget_bytes > 0`` popular
+segments are pinned in RAM as prebuilt wire buffers (header block +
+``memoryview`` of the payload, see :mod:`repro.serve.hotset`) and served
+straight off the event loop — no executor hop, no cache lock, no
+per-request ``bytes`` concatenation. ``/healthz`` is precomputed once and
+``/metrics`` rendering is cached for ``metrics_ttl`` seconds, so the
+observability endpoints stop doing full-registry JSON dumps per request.
 
 Endpoints (HTTP/1.1, ``GET`` only, keep-alive by default):
 
 * ``/manifest/<video>`` — :meth:`Manifest.to_json` as JSON;
 * ``/segment/<video>/<window>/<row>/<col>/<quality>`` — raw segment
   bytes; the URL tail is exactly :meth:`SegmentKey.to_path`;
-* ``/metrics`` — the shared registry's snapshot as JSON;
+* ``/metrics`` — the registry snapshot as JSON (merged across workers
+  in multi-process mode);
+* ``/metrics/local`` — this process's snapshot only, histogram sample
+  windows included (what sibling workers fetch to merge);
 * ``/healthz`` — liveness.
 
 Failures map onto the storage error contract, never raw ``OSError``:
@@ -34,7 +45,15 @@ Admission control is load *shedding*, not queueing: past
 latency grow unboundedly, and a connection that exceeds its
 ``max_connection_requests`` budget gets ``429`` + ``Retry-After`` and is
 closed — both counted in the ``serve.shed`` counter with the live
-``serve.inflight`` gauge alongside.
+``serve.inflight`` gauge alongside. Pinned hits bypass the in-flight
+ceiling (they consume no executor slot, which is what the ceiling
+protects) but still spend the per-connection budget.
+
+With ``processes=N > 1``, :func:`start_server` forks N workers sharing
+one listening port (SO_REUSEPORT where available, single inherited
+listening socket otherwise) — see :mod:`repro.serve.multiproc`. Each
+worker is exactly this server; ``/metrics`` on any worker merges every
+sibling's snapshot.
 
 Shutdown is drain-then-close: stop accepting, let every queued response
 flush (bounded by ``drain_timeout``), then cancel stragglers and release
@@ -58,7 +77,8 @@ from repro.core.errors import (
     TransientSegmentError,
     VisualCloudError,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, merge_snapshots
+from repro.serve.hotset import HotSet
 from repro.stream.dash import SegmentKey
 
 _MAX_REQUEST_BYTES = 16 * 1024  # request line + headers; GETs carry no body
@@ -66,7 +86,7 @@ _MAX_REQUEST_BYTES = 16 * 1024  # request line + headers; GETs carry no body
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Tunables for one :class:`SegmentServer`."""
+    """Tunables for one :class:`SegmentServer` (or a worker fleet)."""
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = let the kernel pick (the handle reports it)
@@ -77,6 +97,12 @@ class ServerConfig:
     max_inflight: int | None = None  # concurrent dispatches before 503 shed
     max_connection_requests: int | None = None  # per-connection budget before 429
     retry_after: float = 0.5  # Retry-After hint (seconds) on shed responses
+    processes: int = 1  # worker processes sharing the listening port
+    backlog: int = 256  # listen(2) backlog per listening socket
+    pin_budget_bytes: int = 0  # RAM hot-set budget; 0 disables pinning
+    pin_threshold: int = 3  # cold-path hits before a segment is pinned
+    prewarm: tuple[str, ...] = ()  # videos pinned hottest-first at startup
+    metrics_ttl: float = 0.25  # /metrics render cache (seconds); 0 disables
 
     def __post_init__(self) -> None:
         if self.read_workers < 1:
@@ -95,6 +121,18 @@ class ServerConfig:
             )
         if self.retry_after <= 0:
             raise ValueError(f"retry_after must be positive, got {self.retry_after}")
+        if self.processes < 1:
+            raise ValueError(f"processes must be >= 1, got {self.processes}")
+        if self.backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {self.backlog}")
+        if self.pin_budget_bytes < 0:
+            raise ValueError(
+                f"pin_budget_bytes must be >= 0, got {self.pin_budget_bytes}"
+            )
+        if self.pin_threshold < 1:
+            raise ValueError(f"pin_threshold must be >= 1, got {self.pin_threshold}")
+        if self.metrics_ttl < 0:
+            raise ValueError(f"metrics_ttl must be >= 0, got {self.metrics_ttl}")
 
 
 def _status_for(error: BaseException) -> int:
@@ -132,7 +170,11 @@ class _Response:
     error: str = ""  # exception class name, sent as X-Error
     retry_after: float | None = None  # seconds, sent as Retry-After
 
-    def encode(self, keep_alive: bool) -> bytes:
+    @property
+    def body_length(self) -> int:
+        return len(self.body)
+
+    def _head(self, keep_alive: bool) -> bytes:
         reason = _REASONS.get(self.status, "Unknown")
         head = [
             f"HTTP/1.1 {self.status} {reason}",
@@ -144,7 +186,40 @@ class _Response:
             head.append(f"X-Error: {self.error}")
         if self.retry_after is not None:
             head.append(f"Retry-After: {self.retry_after:g}")
-        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + self.body
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+
+    def parts(self, keep_alive: bool) -> tuple[bytes, ...]:
+        """The wire buffers, unconcatenated: header block, then body.
+
+        ``b"".join(parts(k))`` must equal ``encode(k)`` for every
+        response — the Hypothesis differential test pins this.
+        """
+        head = self._head(keep_alive)
+        return (head, self.body) if self.body else (head,)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        """The single-buffer wire form: the reference implementation the
+        zero-copy ``parts`` path is tested against."""
+        return self._head(keep_alive) + self.body
+
+
+class _Precomputed:
+    """A response frozen into its wire buffers at build time.
+
+    Serving one costs a tuple fetch: both ``Connection`` variants of the
+    header block are built once, and the body is shared, not copied.
+    """
+
+    __slots__ = ("status", "body_length", "_keep", "_close")
+
+    def __init__(self, response: _Response) -> None:
+        self.status = response.status
+        self.body_length = len(response.body)
+        self._keep = response.parts(True)
+        self._close = response.parts(False)
+
+    def parts(self, keep_alive: bool) -> tuple[bytes, ...]:
+        return self._keep if keep_alive else self._close
 
 
 def _json_response(status: int, payload: dict) -> _Response:
@@ -189,14 +264,22 @@ class SegmentServer:
             else getattr(storage, "metrics", None) or MetricsRegistry()
         )
         self._server: asyncio.base_events.Server | None = None
+        self._admin: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._connections: set[asyncio.Task] = set()
         self._drain: asyncio.Event | None = None
         self._requests = self.metrics.counter("serve.requests", "HTTP requests served")
-        self._bytes = self.metrics.counter("serve.bytes_sent", "HTTP body bytes sent")
         self._latency = self.metrics.histogram(
             "serve.request_seconds", "wall time from request parse to enqueue"
         )
+        # Hot-path series are bound once and cached per (endpoint,
+        # status): label canonicalisation per request is measurable at
+        # saturation. These dicts are touched only on the loop thread.
+        self._requests_bound: dict = {}
+        self._latency_bound: dict = {}
+        self._bytes_sent = self.metrics.counter(
+            "serve.bytes_sent", "HTTP body bytes sent"
+        ).labels()
         self._gauge_connections = self.metrics.gauge(
             "serve.connections", "open client connections"
         )
@@ -209,22 +292,58 @@ class SegmentServer:
         self._gauge_inflight = self.metrics.gauge(
             "serve.inflight", "requests currently dispatching"
         )
+        self.hot = HotSet(
+            self.config.pin_budget_bytes, self.config.pin_threshold, self.metrics
+        )
+        self._healthz = _Precomputed(_Response(200, b"ok", content_type="text/plain"))
+        self._metrics_cache: tuple[float, _Precomputed] | None = None
+        # Multi-process wiring (set by the worker shim, see multiproc.py).
+        self._worker_id: int | None = None
+        self._peer_ports: tuple[int, ...] = ()
 
     # -- lifecycle ------------------------------------------------------------
 
-    async def start(self) -> tuple[str, int]:
-        """Bind and start accepting; returns the bound (host, port)."""
+    async def start(self, sock=None) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port).
+
+        ``sock`` lets a multi-process worker serve on a pre-bound
+        SO_REUSEPORT (or fork-inherited) listening socket instead of
+        binding its own.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
         self._drain = asyncio.Event()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.read_workers, thread_name_prefix="serve-read"
         )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock, backlog=self.config.backlog
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                backlog=self.config.backlog,
+            )
+        for name in self.config.prewarm:
+            self.prewarm_pins(name)
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
+
+    async def start_admin(self) -> int:
+        """A second listener on an ephemeral port, same handler — the
+        worker-to-worker channel for ``/metrics/local`` merging."""
+        self._admin = await asyncio.start_server(
+            self._handle_connection, self.config.host, 0
+        )
+        return self._admin.sockets[0].getsockname()[1]
+
+    def set_peers(self, worker_id: int, peer_ports) -> None:
+        """Tell this worker who its siblings are (admin ports)."""
+        self._worker_id = worker_id
+        self._peer_ports = tuple(peer_ports)
 
     async def stop(self) -> None:
         """Drain and shut down: no new connections, queued responses
@@ -233,6 +352,10 @@ class SegmentServer:
             return
         self._server.close()
         await self._server.wait_closed()
+        if self._admin is not None:
+            self._admin.close()
+            await self._admin.wait_closed()
+            self._admin = None
         if self._drain is not None:
             self._drain.set()  # idle keep-alive loops exit immediately
         pending = [task for task in self._connections if not task.done()]
@@ -249,6 +372,37 @@ class SegmentServer:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
+    # -- pin prewarm ----------------------------------------------------------
+
+    def prewarm_pins(self, name: str, weights: dict | None = None) -> int:
+        """Pin ``name``'s segments hottest-first until the budget is full.
+
+        ``weights`` maps :class:`SegmentKey` to a pin priority — feed it
+        :func:`repro.core.popularity.segment_weights` built from viewer
+        traces; without it, segments pin in deterministic path order.
+        Blocking storage reads run inline: this is a startup (or
+        operator-initiated) action, not a request-path one. Returns how
+        many segments were pinned.
+        """
+        if not self.hot.enabled:
+            return 0
+        manifest = self.storage.build_manifest(name)
+        if weights:
+            def rank(key):
+                return (-weights.get(key, 0.0), key.to_path())
+        else:
+            def rank(key):
+                return key.to_path()
+        pinned = 0
+        for key in sorted(manifest.segment_sizes, key=rank):
+            size = manifest.segment_sizes[key]
+            if self.hot.bytes_pinned + size > self.hot.budget_bytes:
+                continue  # full for this size; a smaller segment may still fit
+            data = self.storage.read_segment(name, key.window, key.tile, key.quality)
+            if self.hot.pin(f"/segment/{name}/{key.to_path()}", data):
+                pinned += 1
+        return pinned
+
     # -- connection handling --------------------------------------------------
 
     async def _handle_connection(
@@ -258,21 +412,27 @@ class SegmentServer:
         assert task is not None
         self._connections.add(task)
         self._gauge_connections.inc()
-        # Bounded send queue: the reader enqueues, the writer drains. A
-        # slow consumer fills the queue and stalls its own reader — that
-        # is the backpressure.
-        queue: asyncio.Queue[bytes | None] = asyncio.Queue(self.config.queue_depth)
+        # Bounded send queue: the reader enqueues buffer tuples, the
+        # writer drains. A slow consumer fills the queue and stalls its
+        # own reader — that is the backpressure.
+        queue: asyncio.Queue[tuple | None] = asyncio.Queue(self.config.queue_depth)
         writer_task = asyncio.create_task(self._write_loop(queue, writer))
         assert self._drain is not None
+        # One drain-wait task per connection, reused across requests —
+        # not one per request, which doubled task churn at saturation.
+        drain_wait = asyncio.create_task(self._drain.wait())
         served_on_connection = 0
+        hot = self.hot
+        pinnable = hot.enabled
         try:
             while not self._drain.is_set():
-                request = await self._next_request(reader)
+                request = await self._next_request(reader, drain_wait)
                 if request is None:
                     break
                 method, path, keep_alive = request
                 started = perf_counter()
                 served_on_connection += 1
+                target = path.partition("?")[0]
                 if method != "GET":
                     response = _Response(
                         405, b"", content_type="text/plain", error="MethodNotAllowed"
@@ -286,31 +446,50 @@ class SegmentServer:
                         # (or fails over) after the hint.
                         response = self._shed_response(429, "connection_budget")
                         keep_alive = False
-                    elif (
-                        self.config.max_inflight is not None
-                        and self._inflight >= self.config.max_inflight
-                    ):
-                        # Overloaded: answer immediately instead of
-                        # queueing — bounded latency for admitted work.
-                        response = self._shed_response(503, "overload")
                     else:
-                        self._inflight += 1
-                        self._gauge_inflight.set(self._inflight)
-                        try:
-                            response = await self._dispatch(path)
-                        finally:
-                            self._inflight -= 1
+                        pinned = hot.lookup(target) if pinnable else None
+                        if pinned is not None:
+                            # RAM hit: prebuilt buffers, no executor, no
+                            # in-flight accounting (nothing to protect).
+                            response = pinned
+                        elif (
+                            self.config.max_inflight is not None
+                            and self._inflight >= self.config.max_inflight
+                        ):
+                            # Overloaded: answer immediately instead of
+                            # queueing — bounded latency for admitted work.
+                            response = self._shed_response(503, "overload")
+                        else:
+                            self._inflight += 1
                             self._gauge_inflight.set(self._inflight)
-                endpoint = path.split("/", 2)[1] if path.count("/") else path
-                self._requests.inc(endpoint=endpoint, status=str(response.status))
-                self._bytes.inc(len(response.body))
-                self._latency.observe(perf_counter() - started, endpoint=endpoint)
-                await queue.put(response.encode(keep_alive))
+                            try:
+                                response = await self._dispatch(target)
+                            finally:
+                                self._inflight -= 1
+                                self._gauge_inflight.set(self._inflight)
+                endpoint = target.split("/", 2)[1] if target.count("/") else target
+                series = (endpoint, response.status)
+                counter = self._requests_bound.get(series)
+                if counter is None:
+                    counter = self._requests_bound[series] = self._requests.labels(
+                        endpoint=endpoint, status=str(response.status)
+                    )
+                counter.inc()
+                self._bytes_sent.inc(response.body_length)
+                histogram = self._latency_bound.get(endpoint)
+                if histogram is None:
+                    histogram = self._latency_bound[endpoint] = self._latency.labels(
+                        endpoint=endpoint
+                    )
+                histogram.observe(perf_counter() - started)
+                await queue.put(response.parts(keep_alive))
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
             pass  # peer went away mid-request; nothing to answer
         finally:
+            drain_wait.cancel()
+            await asyncio.gather(drain_wait, return_exceptions=True)
             await queue.put(None)  # sentinel: flush then close
             try:
                 await writer_task
@@ -320,7 +499,7 @@ class SegmentServer:
             self._gauge_connections.dec()
 
     async def _next_request(
-        self, reader: asyncio.StreamReader
+        self, reader: asyncio.StreamReader, drain_wait: asyncio.Task
     ) -> tuple[str, str, bool] | None:
         """The next parsed request, or None on client EOF *or* drain.
 
@@ -329,15 +508,14 @@ class SegmentServer:
         and would otherwise only notice draining when force-cancelled
         after the full timeout.
         """
-        assert self._drain is not None
         read = asyncio.create_task(self._read_request(reader))
-        drain = asyncio.create_task(self._drain.wait())
-        done, _ = await asyncio.wait({read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        done, _ = await asyncio.wait(
+            {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
         if read not in done:
             read.cancel()
             await asyncio.gather(read, return_exceptions=True)
             return None
-        drain.cancel()
         return read.result()
 
     @staticmethod
@@ -347,7 +525,11 @@ class SegmentServer:
                 payload = await queue.get()
                 if payload is None:
                     break
-                writer.write(payload)
+                # Two writes (header block, payload view) instead of one
+                # concatenated bytes: the transport chains the buffers,
+                # the payload is never copied on the hit path.
+                for part in payload:
+                    writer.write(part)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -398,32 +580,58 @@ class SegmentServer:
             retry_after=self.config.retry_after,
         )
 
-    async def _dispatch(self, path: str) -> _Response:
-        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+    async def _dispatch(self, target: str):
+        parts = [part for part in target.split("/") if part]
         try:
             if parts == ["healthz"]:
-                return _Response(200, b"ok", content_type="text/plain")
+                return self._healthz
             if parts == ["metrics"]:
-                return _json_response(200, self.metrics.snapshot())
+                return await self._metrics_response()
+            if parts == ["metrics", "local"]:
+                snapshot = self.metrics.snapshot(include_samples=True)
+                snapshot["worker"] = self._worker_id
+                return _json_response(200, snapshot)
             if len(parts) == 2 and parts[0] == "manifest":
                 return await self._manifest(parts[1])
             if len(parts) == 6 and parts[0] == "segment":
-                return await self._segment(parts[1], "/".join(parts[2:]))
-            return _error_response(404, LookupError(f"no route for {path!r}"))
+                return await self._segment(parts[1], "/".join(parts[2:]), target)
+            return _error_response(404, LookupError(f"no route for {target!r}"))
         except VisualCloudError as error:
             return _error_response(_status_for(error), error)
         except ValueError as error:
             return _error_response(400, error)
 
+    async def _metrics_response(self) -> _Precomputed:
+        """The registry snapshot, rendered at most once per ``metrics_ttl``.
+
+        Snapshotting and JSON-encoding the full registry per request is
+        event-loop work that scales with series count, not traffic — a
+        short render cache bounds it without making the data stale in
+        any way a scraper would notice.
+        """
+        now = asyncio.get_running_loop().time()
+        cached = self._metrics_cache
+        if cached is not None and now - cached[0] < self.config.metrics_ttl:
+            return cached[1]
+        if self._peer_ports:
+            snapshot = await self._merged_snapshot()
+        else:
+            snapshot = self.metrics.snapshot()
+        rendered = _Precomputed(_json_response(200, snapshot))
+        self._metrics_cache = (now, rendered)
+        return rendered
+
     async def _manifest(self, name: str) -> _Response:
         manifest = await self._offload(lambda: self.storage.build_manifest(name))
         return _json_response(200, manifest.to_json())
 
-    async def _segment(self, name: str, tail: str) -> _Response:
+    async def _segment(self, name: str, tail: str, target: str) -> _Response:
         key = SegmentKey.from_path(tail)  # ValueError → 400
         data = await self._offload(
             lambda: self.storage.read_segment(name, key.window, key.tile, key.quality)
         )
+        if self.hot.enabled:
+            self.hot.record(target, data)
         return _Response(200, data)
 
     async def _offload(self, call):
@@ -443,6 +651,58 @@ class SegmentServer:
             raise SegmentReadTimeout(
                 f"storage read exceeded the {self.config.read_timeout:.3f}s budget"
             ) from None
+
+    # -- worker metrics merging -----------------------------------------------
+
+    async def _merged_snapshot(self) -> dict:
+        """This worker's snapshot pooled with every reachable sibling's.
+
+        Dead or unresponsive peers are skipped, not fatal — ``workers``
+        reports how many snapshots the merge actually covers and
+        ``peer_errors`` how many it could not reach.
+        """
+        snapshots = [self.metrics.snapshot(include_samples=True)]
+        results = await asyncio.gather(
+            *(
+                asyncio.wait_for(self._fetch_peer_snapshot(port), timeout=2.0)
+                for port in self._peer_ports
+            ),
+            return_exceptions=True,
+        )
+        errors = 0
+        for result in results:
+            if isinstance(result, dict):
+                snapshots.append(result)
+            else:
+                errors += 1
+        merged = merge_snapshots(snapshots)
+        if errors:
+            merged["peer_errors"] = errors
+        return merged
+
+    async def _fetch_peer_snapshot(self, port: int) -> dict:
+        """One raw ``GET /metrics/local`` to a sibling's admin listener."""
+        reader, writer = await asyncio.open_connection(self.config.host, port)
+        try:
+            writer.write(
+                b"GET /metrics/local HTTP/1.1\r\n"
+                b"Host: peer\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            length = 0
+            for line in head.decode("latin-1").split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            body = await reader.readexactly(length)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        return json.loads(body)
 
 
 class ServerStartupError(RuntimeError):
@@ -534,6 +794,30 @@ def start_server(
     storage,
     config: ServerConfig | None = None,
     registry: MetricsRegistry | None = None,
-) -> ServerHandle:
-    """Start a segment server in a background thread and hand it back."""
+):
+    """Start a segment server and hand back a handle.
+
+    ``processes=1`` (the default): the server runs its event loop in a
+    daemon thread of this process and returns a :class:`ServerHandle`.
+    ``processes=N``: N worker processes share one listening port and a
+    :class:`~repro.serve.multiproc.MultiProcessServerHandle` is returned
+    — same ``address``/``base_url``/``stop()``/context-manager contract.
+    Multi-process mode needs a disk-backed storage manager (each worker
+    reopens the catalog from its root after the fork) and ignores
+    ``registry`` (each worker owns one; ``/metrics`` merges them).
+    """
+    config = config or ServerConfig()
+    if config.processes > 1:
+        from repro.serve.multiproc import MultiProcessServerHandle
+
+        catalog = getattr(storage, "catalog", None)
+        if catalog is None:
+            raise ValueError(
+                "multi-process serving needs a disk-backed StorageManager "
+                "(each worker reopens the catalog from its root); got "
+                f"{type(storage).__name__}"
+            )
+        cache = getattr(storage, "segment_cache", None)
+        cache_bytes = getattr(cache, "capacity_bytes", 0) if cache is not None else 0
+        return MultiProcessServerHandle(catalog.root, cache_bytes, config)
     return ServerHandle(SegmentServer(storage, config, registry))

@@ -1,0 +1,94 @@
+"""Differential tests: the zero-copy wire paths vs the reference encoder.
+
+The serve fast path writes responses as unconcatenated buffer tuples
+(``_Response.parts``, ``_Precomputed``, ``PinnedSegment``) instead of one
+joined ``bytes``. These tests pin the invariant that makes that safe:
+joining the parts of *any* response reproduces ``_Response.encode``
+byte for byte, across every status / keep-alive / error / retry-after /
+body combination the server can emit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.hotset import PinnedSegment, _header_block
+from repro.serve.server import _REASONS, _Precomputed, _Response
+
+# Header fields are encoded as ASCII and terminated by CRLF; the server
+# only ever inserts exception class names and MIME types there.
+_header_text = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E), max_size=40
+)
+
+_responses = st.builds(
+    _Response,
+    status=st.one_of(st.sampled_from(sorted(_REASONS)), st.integers(100, 599)),
+    body=st.binary(max_size=4096),
+    content_type=st.sampled_from(
+        ["application/octet-stream", "application/json", "text/plain"]
+    ),
+    error=_header_text,
+    retry_after=st.one_of(
+        st.none(), st.floats(min_value=0.001, max_value=3600.0, allow_nan=False)
+    ),
+)
+
+
+class TestPartsMatchEncode:
+    @settings(max_examples=200, deadline=None)
+    @given(response=_responses, keep_alive=st.booleans())
+    def test_joined_parts_equal_encode(self, response, keep_alive):
+        assert b"".join(response.parts(keep_alive)) == response.encode(keep_alive)
+
+    @settings(max_examples=100, deadline=None)
+    @given(response=_responses, keep_alive=st.booleans())
+    def test_precomputed_freezes_the_same_bytes(self, response, keep_alive):
+        frozen = _Precomputed(response)
+        assert b"".join(frozen.parts(keep_alive)) == response.encode(keep_alive)
+        assert frozen.status == response.status
+        assert frozen.body_length == response.body_length
+
+    @given(response=_responses, keep_alive=st.booleans())
+    def test_empty_body_emits_a_single_buffer(self, response, keep_alive):
+        parts = response.parts(keep_alive)
+        if response.body:
+            assert len(parts) == 2
+        else:
+            assert len(parts) == 1
+
+    @given(body=st.binary(max_size=4096), keep_alive=st.booleans())
+    def test_segment_hit_shape_is_exact(self, body, keep_alive):
+        """The exact response class the cold segment path emits."""
+        response = _Response(200, body)
+        wire = b"".join(response.parts(keep_alive))
+        assert wire == response.encode(keep_alive)
+        connection = b"keep-alive" if keep_alive else b"close"
+        assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: " + connection + b"\r\n" in wire
+        assert wire.endswith(body)
+
+
+class TestPinnedSegmentWireIdentity:
+    @settings(max_examples=200, deadline=None)
+    @given(body=st.binary(max_size=4096), keep_alive=st.booleans())
+    def test_pinned_bytes_equal_cold_path_bytes(self, body, keep_alive):
+        """A pin hit and a cold read must be indistinguishable on the wire."""
+        pinned = PinnedSegment("/segment/clip/0/0/0/high", body)
+        reference = _Response(200, body)
+        assert b"".join(pinned.parts(keep_alive)) == reference.encode(keep_alive)
+
+    @given(length=st.integers(min_value=0, max_value=10**9), keep_alive=st.booleans())
+    def test_header_block_matches_response_head(self, length, keep_alive):
+        body = b"\0" * min(length, 4096)
+        reference = _Response(200, body)
+        assert _header_block(len(body), keep_alive) == reference._head(keep_alive)
+
+    def test_pinned_body_is_shared_not_copied(self):
+        body = b"payload" * 100
+        pinned = PinnedSegment("/segment/x", body)
+        head, view = pinned.parts(True)
+        assert isinstance(view, memoryview)
+        assert view.obj is pinned.body
+        assert bytes(view) == body

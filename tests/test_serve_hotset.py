@@ -1,0 +1,285 @@
+"""The pinned hot set: admission, eviction, identity, and the server path.
+
+The load-bearing test is byte identity under a poisoned backend: once a
+segment is pinned, the storage layer is mutated underneath the server
+and the wire must keep returning the originally-pinned bytes — proof the
+fast path genuinely never touches storage, not merely that it is fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.popularity import segment_weights
+from repro.obs import MetricsRegistry
+from repro.serve import HotSet, HttpSegmentClient, ServerConfig, start_server
+from repro.serve.server import SegmentServer
+
+
+def make_hotset(budget: int, threshold: int = 3, **kwargs) -> HotSet:
+    return HotSet(budget, threshold, MetricsRegistry(), **kwargs)
+
+
+class TestAdmission:
+    def test_zero_budget_disables_everything(self):
+        hot = make_hotset(0)
+        assert not hot.enabled
+        assert not hot.record("/a", b"data")
+        assert not hot.pin("/a", b"data")
+        assert hot.lookup("/a") is None
+
+    def test_record_promotes_at_threshold(self):
+        hot = make_hotset(1024, threshold=3)
+        assert not hot.record("/a", b"x" * 10)
+        assert not hot.record("/a", b"x" * 10)
+        assert hot.record("/a", b"x" * 10)  # third hit crosses the threshold
+        assert "/a" in hot
+        assert hot.lookup("/a") is not None
+
+    def test_oversized_body_is_rejected(self):
+        hot = make_hotset(100)
+        assert not hot.pin("/big", b"x" * 101)
+        assert len(hot) == 0
+        assert hot.bytes_pinned == 0
+
+    def test_repinning_is_idempotent(self):
+        hot = make_hotset(1024)
+        assert hot.pin("/a", b"x" * 10)
+        assert hot.pin("/a", b"x" * 10)
+        assert len(hot) == 1
+        assert hot.bytes_pinned == 10
+
+    def test_candidate_tracking_is_bounded(self):
+        hot = make_hotset(1024, threshold=2, max_tracked=4)
+        for i in range(16):
+            hot.record(f"/cold/{i}", b"x")
+        assert len(hot._counts) <= 4
+        # A genuinely hot path still promotes after the sweep.
+        hot.record("/hot", b"x")
+        assert hot.record("/hot", b"x")
+
+
+class TestEviction:
+    def test_colder_entries_make_room_for_hotter(self):
+        hot = make_hotset(20)
+        hot.pin("/cold", b"x" * 20)
+        assert hot.lookup("/cold").hits == 1
+        # Heat 5 beats the victim's 1 observed hit.
+        assert hot.pin("/hot", b"y" * 20, heat=5)
+        assert "/hot" in hot
+        assert "/cold" not in hot
+        assert hot.bytes_pinned == 20
+
+    def test_hotter_incumbent_is_not_churned(self):
+        hot = make_hotset(20)
+        hot.pin("/popular", b"x" * 20)
+        for _ in range(10):
+            hot.lookup("/popular")
+        assert not hot.pin("/oneoff", b"y" * 20, heat=3)
+        assert "/popular" in hot
+
+    def test_eviction_order_is_deterministic(self):
+        hot = make_hotset(30)
+        hot.pin("/a", b"x" * 10)
+        hot.pin("/b", b"y" * 10)
+        hot.pin("/c", b"z" * 10)
+        hot.lookup("/b")
+        hot.lookup("/c")
+        # /a has 0 hits; ties would break by path, but here the single
+        # coldest entry is unambiguous.
+        assert hot.pin("/d", b"w" * 10, heat=1)
+        assert "/a" not in hot
+        assert {"/b", "/c", "/d"} <= set(hot._entries)
+
+    def test_budget_accounting_survives_eviction_cycles(self):
+        hot = make_hotset(100)
+        for round_number in range(1, 6):
+            hot.pin(f"/r{round_number}", b"x" * 60, heat=round_number * 10)
+        assert hot.bytes_pinned == sum(e.body_length for e in hot._entries.values())
+        assert hot.bytes_pinned <= 100
+
+
+class TestInvalidation:
+    def test_unpin_prefix_drops_entries_and_candidates(self):
+        hot = make_hotset(1024, threshold=5)
+        hot.pin("/segment/clip/0/0/0/high", b"a" * 10)
+        hot.pin("/segment/clip/1/0/0/high", b"b" * 10)
+        hot.pin("/segment/other/0/0/0/high", b"c" * 10)
+        hot.record("/segment/clip/2/0/0/low", b"d")
+        dropped = hot.unpin_prefix("/segment/clip/")
+        assert dropped == 2
+        assert len(hot) == 1
+        assert hot.bytes_pinned == 10
+        assert "/segment/clip/2/0/0/low" not in hot._counts
+
+    def test_clear_resets_all_state(self):
+        hot = make_hotset(1024)
+        hot.pin("/a", b"x" * 10)
+        hot.record("/b", b"y")
+        hot.clear()
+        assert len(hot) == 0
+        assert hot.bytes_pinned == 0
+        assert not hot._counts
+
+
+class TestMetrics:
+    def test_counters_and_gauges_track_the_lifecycle(self):
+        registry = MetricsRegistry()
+        hot = HotSet(20, 1, registry)
+        hot.pin("/a", b"x" * 20)
+        hot.lookup("/a")
+        hot.lookup("/a")
+        hot.pin("/b", b"y" * 20, heat=5)  # evicts /a
+        hot.pin("/c", b"z" * 21)  # over budget: rejected
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.pin_hits"] == 2
+        assert snapshot["counters"]["serve.pin_promotions"] == 2
+        assert snapshot["counters"]["serve.pin_evictions"] == 1
+        assert snapshot["counters"]["serve.pin_rejects"] == 1
+        assert snapshot["gauges"]["serve.pin_entries"] == 1
+        assert snapshot["gauges"]["serve.pin_bytes"] == 20
+
+
+@pytest.fixture()
+def pinned_server(session_db):
+    # A fresh registry per test: the session-scoped storage's registry
+    # would otherwise accumulate counters across tests.
+    handle = start_server(
+        session_db.storage,
+        ServerConfig(
+            drain_timeout=2.0,
+            pin_budget_bytes=32 * 1024 * 1024,
+            pin_threshold=1,
+            prewarm=("clip",),
+        ),
+        registry=MetricsRegistry(),
+    )
+    yield handle
+    handle.stop()
+
+
+class TestServerIntegration:
+    def test_prewarm_pins_the_catalog(self, session_db, pinned_server):
+        manifest = session_db.storage.build_manifest("clip")
+        hot = pinned_server.server.hot
+        assert len(hot) == len(manifest.segment_sizes)
+        assert hot.bytes_pinned == sum(manifest.segment_sizes.values())
+
+    def test_pinned_bytes_survive_a_poisoned_backend(self, session_db, pinned_server):
+        """Pin hits must come from RAM: corrupt the storage read path and
+        the wire output must not change."""
+        manifest = session_db.storage.build_manifest("clip")
+        expected = {
+            key: session_db.storage.read_segment(
+                "clip", key.window, key.tile, key.quality
+            )
+            for key in manifest.segment_sizes
+        }
+        server = pinned_server.server
+
+        def poisoned(*args, **kwargs):
+            raise AssertionError("pinned serve must not touch storage")
+
+        original = server.storage.read_segment
+        server.storage.read_segment = poisoned
+        try:
+            with HttpSegmentClient(pinned_server.base_url) as client:
+                for key, data in expected.items():
+                    assert client.fetch_segment("clip", key) == data
+        finally:
+            server.storage.read_segment = original
+        snapshot = client_free_snapshot(server)
+        assert snapshot["counters"]["serve.pin_hits"] == len(expected)
+
+    def test_threshold_promotion_over_the_wire(self, session_db):
+        handle = start_server(
+            session_db.storage,
+            ServerConfig(
+                drain_timeout=2.0, pin_budget_bytes=32 * 1024 * 1024, pin_threshold=2
+            ),
+            registry=MetricsRegistry(),
+        )
+        try:
+            manifest = session_db.storage.build_manifest("clip")
+            key = min(manifest.segment_sizes, key=lambda k: k.to_path())
+            with HttpSegmentClient(handle.base_url) as client:
+                client.fetch_segment("clip", key)
+                assert len(handle.server.hot) == 0
+                client.fetch_segment("clip", key)
+                assert len(handle.server.hot) == 1
+                client.fetch_segment("clip", key)
+            snapshot = client_free_snapshot(handle.server)
+            assert snapshot["counters"]["serve.pin_hits"] == 1
+        finally:
+            handle.stop()
+
+    def test_query_strings_hit_the_same_pin(self, session_db, pinned_server):
+        manifest = session_db.storage.build_manifest("clip")
+        key = min(manifest.segment_sizes, key=lambda k: k.to_path())
+        expected = session_db.storage.read_segment(
+            "clip", key.window, key.tile, key.quality
+        )
+        import urllib.request
+
+        url = f"{pinned_server.base_url}/segment/clip/{key.to_path()}?session=7"
+        with urllib.request.urlopen(url) as response:
+            assert response.read() == expected
+
+    def test_connection_budget_still_applies_to_pinned_hits(self, session_db):
+        """Pinned hits bypass the in-flight ceiling but not the
+        per-connection request budget — 429 shedding must keep working."""
+        from repro.core.errors import TransientSegmentError
+
+        handle = start_server(
+            session_db.storage,
+            ServerConfig(
+                drain_timeout=2.0,
+                pin_budget_bytes=32 * 1024 * 1024,
+                pin_threshold=1,
+                prewarm=("clip",),
+                max_connection_requests=3,
+            ),
+        )
+        try:
+            manifest = session_db.storage.build_manifest("clip")
+            key = min(manifest.segment_sizes, key=lambda k: k.to_path())
+            with HttpSegmentClient(handle.base_url) as client:
+                for _ in range(3):
+                    client.fetch_segment("clip", key)
+                with pytest.raises(TransientSegmentError) as caught:
+                    client.fetch_segment("clip", key)
+                assert caught.value.status == 429
+        finally:
+            handle.stop()
+
+
+class TestPrewarmWeights:
+    def test_weights_pin_hottest_first(self, session_db):
+        """With a budget too small for everything, the popularity-ranked
+        prewarm keeps the heavy-weighted segments."""
+        storage = session_db.storage
+        manifest = storage.build_manifest("clip")
+        popularity = {(0, 0): 100.0, (0, 1): 1.0, (1, 0): 1.0, (1, 1): 1.0}
+        weights = segment_weights(popularity, manifest)
+        assert weights  # every key ranked
+        ranked = sorted(weights, key=lambda k: (-weights[k], k.to_path()))
+        hot_tile_bytes = sum(
+            manifest.segment_sizes[k] for k in ranked if k.tile == (0, 0)
+        )
+        server = SegmentServer(
+            storage,
+            ServerConfig(pin_budget_bytes=hot_tile_bytes, pin_threshold=1),
+        )
+        pinned = server.prewarm_pins("clip", weights=weights)
+        assert pinned > 0
+        # Every (0,0) segment outweighs every other tile's, so the ones
+        # that fit must all be from the hot tile.
+        from repro.stream.dash import SegmentKey
+
+        for path in server.hot._entries:
+            key = SegmentKey.from_path(path.removeprefix("/segment/clip/"))
+            assert key.tile == (0, 0)
+
+
+def client_free_snapshot(server: SegmentServer) -> dict:
+    return server.metrics.snapshot()

@@ -1,0 +1,160 @@
+"""The multi-process serve tier and the metrics merge behind it.
+
+The fleet tests are end-to-end: N real worker processes share one
+listening port, a real client fetches real segments, and the merged
+``/metrics`` view must account for every worker. merge_snapshots gets
+its own unit coverage because its arithmetic (pooled quantiles, the
+count-weighted fallback) is what makes the fleet view trustworthy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+from repro.serve import HttpSegmentClient, ServerConfig, start_server
+from repro.serve.multiproc import MultiProcessServerHandle, _so_reuseport_available
+
+_multiproc_possible = (
+    _so_reuseport_available() or "fork" in multiprocessing.get_all_start_methods()
+)
+
+pytestmark = pytest.mark.skipif(
+    not _multiproc_possible,
+    reason="needs SO_REUSEPORT or the fork start method",
+)
+
+
+@pytest.fixture()
+def fleet(session_db):
+    handle = start_server(
+        session_db.storage, ServerConfig(processes=2, drain_timeout=2.0)
+    )
+    yield handle
+    handle.stop()
+
+
+class TestFleetServing:
+    def test_start_server_returns_the_multiproc_handle(self, fleet):
+        assert isinstance(fleet, MultiProcessServerHandle)
+        host, port = fleet.address
+        assert fleet.base_url == f"http://{host}:{port}"
+
+    def test_every_segment_is_byte_identical_to_storage(self, session_db, fleet):
+        manifest = session_db.storage.build_manifest("clip")
+        with HttpSegmentClient(fleet.base_url) as client:
+            for key in manifest.segment_sizes:
+                wire = client.fetch_segment("clip", key)
+                local = session_db.storage.read_segment(
+                    "clip", key.window, key.tile, key.quality
+                )
+                assert wire == local
+
+    def test_merged_metrics_cover_the_whole_fleet(self, fleet):
+        """/metrics on any worker reports workers: 2 and the summed
+        request counters; /metrics/local identifies a single worker."""
+        with HttpSegmentClient(fleet.base_url) as client:
+            client.healthy()
+            merged = client.fetch_metrics()
+            assert merged["workers"] == 2
+            assert "peer_errors" not in merged
+            assert any(
+                name.startswith("serve.requests") for name in merged["counters"]
+            )
+            local = client.fetch_metrics(local=True)
+            assert local["worker"] in (0, 1)
+
+    def test_stop_is_graceful_and_idempotent(self, session_db):
+        handle = start_server(
+            session_db.storage, ServerConfig(processes=2, drain_timeout=2.0)
+        )
+        workers = list(handle._workers)
+        handle.stop()
+        handle.stop()  # second stop must be a no-op, not an error
+        for worker in workers:
+            assert not worker.is_alive()
+            # Graceful drain, not terminate/kill escalation.
+            assert worker.exitcode == 0
+
+    def test_memory_storage_is_rejected(self):
+        class Memoryish:
+            pass
+
+        with pytest.raises(ValueError, match="disk-backed"):
+            start_server(Memoryish(), ServerConfig(processes=2))
+
+
+def _snapshot_with_traffic(latencies, counter_value=1.0) -> dict:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", "requests").labels().inc(counter_value)
+    histogram = registry.histogram("serve.request_seconds", "latency").labels()
+    for value in latencies:
+        histogram.observe(value)
+    return registry.snapshot(include_samples=True)
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        first = {"counters": {"a": 1.0, "b": 2.0}, "gauges": {"g": 5.0}}
+        second = {"counters": {"a": 10.0}, "gauges": {"g": 7.0, "h": 1.0}}
+        merged = merge_snapshots([first, second])
+        assert merged["workers"] == 2
+        assert merged["counters"] == {"a": 11.0, "b": 2.0}
+        assert merged["gauges"] == {"g": 12.0, "h": 1.0}
+        assert merged["spans"] == []
+
+    def test_histogram_exact_fields_are_exact(self):
+        merged = merge_snapshots(
+            [
+                _snapshot_with_traffic([0.1, 0.2, 0.3]),
+                _snapshot_with_traffic([0.4, 0.5]),
+            ]
+        )
+        summary = merged["histograms"]["serve.request_seconds"]
+        assert summary["count"] == 5
+        assert summary["sum"] == pytest.approx(1.5)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.5)
+        assert summary["mean"] == pytest.approx(0.3)
+
+    def test_quantiles_pool_across_workers(self):
+        """Pooled quantiles must reflect the union of the sample windows,
+        not an average of per-worker quantiles: one worker holding all
+        the slow requests must dominate the merged p99."""
+        fast = _snapshot_with_traffic([0.001] * 99)
+        slow = _snapshot_with_traffic([1.0] * 99)
+        merged = merge_snapshots([fast, slow])
+        summary = merged["histograms"]["serve.request_seconds"]
+        assert summary["p50"] in (0.001, 1.0)
+        assert summary["p99"] == pytest.approx(1.0)
+
+    def test_sampleless_snapshots_fall_back_to_weighted_average(self):
+        first = {
+            "histograms": {
+                "h": {"count": 3, "sum": 0.3, "min": 0.1, "max": 0.1, "p50": 0.1, "p90": 0.1, "p99": 0.1}
+            }
+        }
+        second = {
+            "histograms": {
+                "h": {"count": 1, "sum": 0.5, "min": 0.5, "max": 0.5, "p50": 0.5, "p90": 0.5, "p99": 0.5}
+            }
+        }
+        merged = merge_snapshots([first, second])
+        summary = merged["histograms"]["h"]
+        assert summary["count"] == 4
+        assert summary["p50"] == pytest.approx((0.1 * 3 + 0.5 * 1) / 4)
+
+    def test_empty_histograms_merge_to_zero(self):
+        merged = merge_snapshots(
+            [{"histograms": {"h": {"count": 0, "sum": 0.0}}}] * 2
+        )
+        assert merged["histograms"]["h"] == {"count": 0, "sum": 0.0}
+
+    def test_single_snapshot_round_trips(self):
+        snapshot = _snapshot_with_traffic([0.25, 0.75])
+        merged = merge_snapshots([snapshot])
+        assert merged["workers"] == 1
+        assert merged["counters"]["serve.requests"] == 1.0
+        assert merged["histograms"]["serve.request_seconds"]["count"] == 2

@@ -93,6 +93,31 @@ class TestOperationalEndpoints:
             key.startswith("serve.request_seconds") for key in snapshot["histograms"]
         )
 
+    def test_metrics_render_is_cached_for_the_ttl(self, session_db):
+        """Within ``metrics_ttl`` the server re-serves the rendered
+        snapshot; new traffic shows up only after the cache expires."""
+        from repro.obs import MetricsRegistry
+        from repro.serve import start_server
+
+        handle = start_server(
+            session_db.storage,
+            ServerConfig(drain_timeout=2.0, metrics_ttl=30.0),
+            registry=MetricsRegistry(),
+        )
+        try:
+            with HttpSegmentClient(handle.base_url) as client:
+                first = client.fetch_metrics()
+                manifest = client.fetch_manifest("clip")
+                key = next(iter(manifest.segment_sizes))
+                client.fetch_segment("clip", key)
+                second = client.fetch_metrics()
+                assert second == first  # stale by design inside the TTL
+                handle.server._metrics_cache = None  # expiry, without the wait
+                third = client.fetch_metrics()
+                assert third != first
+        finally:
+            handle.stop()
+
 
 class TestConcurrency:
     def test_many_threads_fetch_identical_bytes(self, session_db, server):
