@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import os
 import struct
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -45,18 +47,28 @@ from repro.video.mp4 import (
     parse_sv3d,
 )
 from repro.video.quality import Quality
-from repro.video.tiles import TiledGop, TiledVideoCodec, make_encode_executor
+from repro.video.tiles import (
+    TRANSPORTS,
+    TiledGop,
+    TiledVideoCodec,
+    make_encode_executor,
+)
 
 
 @dataclass(frozen=True)
 class IngestConfig:
     """How a video is segmented and encoded at ingest time.
 
-    ``workers`` sizes the encode fan-out: every (GOP, tile, quality)
-    segment is an independent closed GOP, so ingest distributes them
+    ``workers`` sizes the encode fan-out: every (GOP, tile) ladder of
+    segments is an independent encode job, so ingest distributes them
     across that many processes. ``None`` (the default) resolves to
     ``os.cpu_count()``; ``workers=1`` is the serial path, byte-identical
     to any parallel run.
+
+    ``transport`` picks how raw frames reach the workers: ``"auto"``
+    (shared-memory blocks where the platform supports them, else
+    pickling), ``"shm"``, or ``"pickle"``. Bytes are identical on every
+    transport; only the IPC cost differs.
     """
 
     grid: TileGrid = TileGrid(4, 4)
@@ -65,6 +77,7 @@ class IngestConfig:
     fps: float = 30.0
     projection: str = "equirectangular"
     workers: int | None = None
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.gop_frames < 1:
@@ -79,6 +92,10 @@ class IngestConfig:
             object.__setattr__(self, "workers", os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
 
     @property
     def gop_duration(self) -> float:
@@ -408,11 +425,25 @@ class StorageManager:
             next_gop = meta.gop_count
         if workers is None:
             workers = config.workers or 1
-        # One pool amortised over every GOP of the version; each
-        # (tile, quality) segment is an independent encode job.
+        # Each (GOP, tile) is one encode job covering the tile's whole
+        # quality ladder, so raw bytes reach a worker once per tile. One
+        # pool is amortised over every GOP of the version.
         executor = make_encode_executor(
-            workers, config.grid.tile_count * len(config.qualities)
+            workers, config.grid.tile_count, registry=self.metrics
         )
+        # Per-tile ladders are fixed for the whole version: the full
+        # config ladder, or the planned subset (validated non-empty by
+        # ingest) under popularity-driven partial storage.
+        ladder_map: dict[tuple[int, int], tuple[Quality, ...]] = {}
+        for tile in config.grid.tiles():
+            if quality_plan is None:
+                ladder_map[tile] = config.qualities
+            else:
+                ladder_map[tile] = tuple(
+                    quality
+                    for quality in config.qualities
+                    if quality in quality_plan.get(tile, config.qualities)
+                )
         new_entries: dict[tuple[int, tuple[int, int], Quality], SegmentEntry] = {}
         frame_counts: list[int] = []
         width = height = 0
@@ -429,33 +460,46 @@ class StorageManager:
                             f"{base_meta.width}x{base_meta.height}"
                         )
                     codec = TiledVideoCodec(config.grid, width, height)
-                for quality in config.qualities:
-                    if quality_plan is None:
-                        tiles = None  # the full grid
-                    else:
-                        tiles = {
-                            tile
-                            for tile in config.grid.tiles()
-                            if quality in quality_plan.get(tile, config.qualities)
-                        }
-                        if not tiles:
-                            continue
-                    # executor=None means the serial path was chosen (or the
-                    # platform refused a pool) — don't let the codec retry
-                    # pool creation per GOP.
-                    with self.metrics.span(
-                        "storage.ingest.encode",
-                        video=name,
-                        gop=gop_index,
-                        quality=quality.label,
-                    ):
-                        tiled = codec.encode_gop(
-                            batch, quality, tiles=tiles, executor=executor
+                with self.metrics.span(
+                    "storage.ingest.encode", video=name, gop=gop_index
+                ):
+                    try:
+                        payloads = codec.encode_gop_ladders(
+                            batch,
+                            ladder_map,
+                            workers=workers,
+                            executor=executor,
+                            transport=config.transport,
+                            registry=self.metrics,
                         )
-                    with self.metrics.span(
-                        "storage.ingest.write", video=name, gop=gop_index
-                    ):
-                        for tile, payload in tiled.payloads.items():
+                    except BrokenProcessPool:
+                        # Workers died mid-version (OOM kill, sandbox
+                        # policy). Finish the job serially — same bytes,
+                        # honest accounting — instead of failing ingest.
+                        warnings.warn(
+                            "encode worker pool broke mid-ingest; finishing "
+                            "serially",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        self.metrics.counter(
+                            "ingest.pool_fallback",
+                            "encode pools that could not start and fell back "
+                            "to serial",
+                        ).inc()
+                        executor.shutdown(wait=False)
+                        executor = None
+                        payloads = codec.encode_gop_ladders(
+                            batch, ladder_map, workers=1, registry=self.metrics
+                        )
+                with self.metrics.span(
+                    "storage.ingest.write", video=name, gop=gop_index
+                ):
+                    for quality in config.qualities:
+                        for tile in config.grid.tiles():
+                            payload = payloads.get((tile, quality))
+                            if payload is None:
+                                continue
                             path = self.catalog.segment_path(
                                 name, gop_index, tile, quality, version
                             )
@@ -510,13 +554,18 @@ class StorageManager:
         return result
 
     def append(
-        self, name: str, frames: Iterable[Frame], workers: int | None = None
+        self,
+        name: str,
+        frames: Iterable[Frame],
+        workers: int | None = None,
+        transport: str = "auto",
     ) -> VideoMeta:
         """Extend a (live) video with more frames, as a new version.
 
         New GOPs are encoded with the video's original segmentation
         parameters; prior segments are shared, not rewritten. ``workers``
-        parallelises the new GOPs' segment encodes as in :meth:`ingest`.
+        and ``transport`` parallelise the new GOPs' segment encodes as in
+        :meth:`ingest`.
         """
         base = self.meta(name)
         if base.gop_frame_counts[-1] != base.gop_frames:
@@ -531,6 +580,7 @@ class StorageManager:
             gop_frames=base.gop_frames,
             fps=base.fps,
             projection=base.projection,
+            transport=transport,
         )
         # Preserve a partial (popularity-planned) store's per-tile ladders:
         # new GOPs materialise exactly the rungs the existing ones have.
@@ -558,15 +608,18 @@ class StorageManager:
         name: str,
         config: IngestConfig | None = None,
         workers: int | None = None,
+        transport: str = "auto",
     ) -> VideoMeta:
         """Re-encode a stored video's content as a new version.
 
         Decodes each window at the best quality stored per tile and
         re-runs the segmentation pipeline — the way to change a video's
         grid, ladder, or GOP length after the fact. Without ``config`` the
-        original segmentation parameters are reused (a pure re-encode).
-        Old versions keep serving until :meth:`vacuum` reclaims them.
-        ``workers`` parallelises the segment encodes as in :meth:`ingest`.
+        original segmentation parameters are reused (a pure re-encode;
+        ``transport`` then picks the frame transport as in
+        :meth:`ingest`). Old versions keep serving until :meth:`vacuum`
+        reclaims them. ``workers`` parallelises the segment encodes as in
+        :meth:`ingest`.
         """
         base = self.meta(name)
         if config is None:
@@ -576,6 +629,7 @@ class StorageManager:
                 gop_frames=base.gop_frames,
                 fps=base.fps,
                 projection=base.projection,
+                transport=transport,
             )
 
         def decoded_frames() -> Iterator[Frame]:

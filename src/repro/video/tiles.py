@@ -10,7 +10,9 @@ move bytes only and never run the entropy decoder.
 
 from __future__ import annotations
 
+import multiprocessing
 import struct
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -18,6 +20,18 @@ from repro.geometry.grid import TileGrid
 from repro.video.frame import Frame
 from repro.video.gop import GopCodec, decode_any_gop
 from repro.video.quality import Quality
+from repro.video.shmem import (
+    GopBlock,
+    publish_gop,
+    read_tile_frames,
+    shared_memory_available,
+)
+
+#: Accepted values of the ingest ``transport`` knob. ``auto`` prefers
+#: shared memory and falls back to pickling; each explicit choice pins
+#: one transport (``shm`` still degrades to pickling, with a warning,
+#: where the platform has no shared memory).
+TRANSPORTS = ("auto", "shm", "pickle")
 
 TILED_MAGIC = b"VTGP"
 _HEADER = struct.Struct(">4sBHHBBH")  # magic, version, width, height, rows, cols, frames
@@ -251,33 +265,111 @@ class TiledGop:
         return quality
 
 
-def _encode_tile_job(
-    job: tuple[tuple[int, int], Quality, list[Frame]],
-) -> tuple[tuple[int, int], bytes]:
-    """Encode one tile's sub-frames as a closed GOP.
+def _encode_ladder(
+    sub_frames: list[Frame], ladder: tuple[Quality, ...]
+) -> tuple[bytes, ...]:
+    return tuple(GopCodec(quality).encode_gop(sub_frames) for quality in ladder)
+
+
+def _encode_tile_ladder_job(
+    job: tuple[tuple[int, int], tuple[Quality, ...], list[Frame]],
+) -> tuple[tuple[int, int], tuple[bytes, ...]]:
+    """Pickling transport: encode every rung of one tile's ladder.
 
     Module-level (and taking one picklable tuple) so a
     :class:`~concurrent.futures.ProcessPoolExecutor` can ship it to worker
-    processes; every (tile, quality) segment is an independent closed GOP,
-    so jobs share no state and any execution order yields identical bytes.
+    processes. The raw sub-frames cross the process boundary exactly once
+    per tile — the whole ladder is encoded in-worker from that one copy.
+    Every (tile, quality) segment is an independent closed GOP, so jobs
+    share no state and any execution order yields identical bytes.
     """
-    tile, quality, sub_frames = job
-    return tile, GopCodec(quality).encode_gop(sub_frames)
+    tile, ladder, sub_frames = job
+    return tile, _encode_ladder(sub_frames, ladder)
 
 
-def make_encode_executor(workers: int, jobs: int) -> ProcessPoolExecutor | None:
+def _encode_tile_shm_job(
+    job: tuple[tuple[int, int], tuple[Quality, ...], GopBlock, tuple[int, int, int, int]],
+) -> tuple[tuple[int, int], tuple[bytes, ...]]:
+    """Shared-memory transport: the job carries only a block descriptor
+    and a tile rectangle; the worker slices its own sub-frames out of the
+    published GOP and encodes the full ladder."""
+    tile, ladder, block, rect = job
+    return tile, _encode_ladder(read_tile_frames(block, rect), ladder)
+
+
+_ENCODE_CONTEXT: multiprocessing.context.BaseContext | None = None
+
+
+def encode_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every encode pool is built from.
+
+    Explicitly ``forkserver`` (preloaded with this module, so numpy and
+    the codec are imported once in the server and inherited by every
+    forked worker) or ``spawn`` where forkserver is unavailable — never
+    the platform default: bare ``fork`` after threads exist, with numpy
+    loaded, is a latent deadlock, and the import cost should be paid once
+    per pool rather than trusted to luck.
+    """
+    global _ENCODE_CONTEXT
+    if _ENCODE_CONTEXT is None:
+        try:
+            context = multiprocessing.get_context("forkserver")
+            context.set_forkserver_preload(["repro.video.tiles"])
+        except ValueError:
+            context = multiprocessing.get_context("spawn")
+        _ENCODE_CONTEXT = context
+    return _ENCODE_CONTEXT
+
+
+def encode_start_method() -> str:
+    """The start method encode pools use (bench/provenance reporting)."""
+    return encode_context().get_start_method()
+
+
+def make_encode_executor(
+    workers: int, jobs: int, registry=None
+) -> ProcessPoolExecutor | None:
     """A process pool for tile-encode fan-out, or None to run serially.
 
-    Returns None when one worker (or one job) makes a pool pointless, or
-    when the platform refuses to spawn workers (restricted sandboxes) —
-    callers fall back to the byte-identical serial path either way.
+    Returns None when one worker (or one job) makes a pool pointless —
+    the deliberate serial path. When the caller asked for parallelism but
+    the platform refuses to spawn workers (restricted sandboxes), the
+    fallback is *loud*: a ``RuntimeWarning`` plus an
+    ``ingest.pool_fallback`` counter on ``registry``, so a user who asked
+    for ``--workers 8`` learns they got 1.
     """
     if workers <= 1 or jobs <= 1:
         return None
     try:
-        return ProcessPoolExecutor(max_workers=min(workers, jobs))
-    except (OSError, NotImplementedError):
+        return ProcessPoolExecutor(
+            max_workers=min(workers, jobs), mp_context=encode_context()
+        )
+    except (OSError, NotImplementedError, ValueError) as error:
+        warnings.warn(
+            f"requested {workers} encode workers but the platform refused to "
+            f"start a process pool ({error!r}); ingest is running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if registry is not None:
+            registry.counter(
+                "ingest.pool_fallback",
+                "encode pools that could not start and fell back to serial",
+            ).inc()
         return None
+
+
+def _dispatch_chunksize(jobs: int, executor: Executor, workers: int) -> int:
+    """Jobs per dispatched chunk, derived from the pool's *actual* size.
+
+    A shared executor may have been built with a different worker count
+    than the ``workers`` parameter a caller passes alongside it — sizing
+    chunks from the parameter then under- or over-batches. Four chunks
+    per worker keeps dispatch overhead amortised while still load-
+    balancing uneven tiles.
+    """
+    pool_workers = getattr(executor, "_max_workers", None) or max(workers, 1)
+    return max(1, jobs // (4 * pool_workers))
 
 
 class TiledVideoCodec:
@@ -321,20 +413,65 @@ class TiledVideoCodec:
         quality_map: dict[tuple[int, int], Quality],
         workers: int = 1,
         executor: Executor | None = None,
+        transport: str = "auto",
     ) -> TiledGop:
         """Encode one GOP with a per-tile quality assignment.
 
-        This is the storage-side primitive behind predictive tiling: the
-        caller decides quality per tile, the codec encodes each tile's
-        sub-frames as an independent closed GOP.
-
-        With ``workers > 1`` (or an explicit ``executor``, which takes
-        precedence and is not shut down here) the per-tile encodes fan out
-        across processes. Tiles are closed GOPs with no shared state, so
-        the parallel path is byte-identical to the ``workers=1`` serial
-        one; ingest-level callers pass a shared executor so the pool is
-        paid for once per video, not once per GOP.
+        This is the delivery-side primitive behind predictive tiling: the
+        caller decides one quality per tile. A thin wrapper over
+        :meth:`encode_gop_ladders` with singleton ladders.
         """
+        ladder_map = {tile: (quality,) for tile, quality in quality_map.items()}
+        payloads = self.encode_gop_ladders(
+            frames, ladder_map, workers=workers, executor=executor, transport=transport
+        )
+        return TiledGop(
+            width=self.width,
+            height=self.height,
+            grid=self.grid,
+            frame_count=len(frames),
+            payloads={
+                tile: payloads[(tile, quality)] for tile, quality in quality_map.items()
+            },
+        )
+
+    def _tile_rect(self, tile: tuple[int, int]) -> tuple[int, int, int, int]:
+        row, col = tile
+        self.grid.index_of(row, col)
+        x0 = col * self.tile_width
+        y0 = row * self.tile_height
+        return (x0, y0, x0 + self.tile_width, y0 + self.tile_height)
+
+    def encode_gop_ladders(
+        self,
+        frames: list[Frame],
+        ladder_map: dict[tuple[int, int], tuple[Quality, ...]],
+        *,
+        workers: int = 1,
+        executor: Executor | None = None,
+        transport: str = "auto",
+        registry=None,
+    ) -> dict[tuple[tuple[int, int], Quality], bytes]:
+        """Encode one GOP at a per-tile quality *ladder* in one fan-out.
+
+        The ingest-side primitive: each job covers all of a tile's rungs,
+        so a tile's raw bytes cross the process boundary once — not once
+        per quality. With the shared-memory transport (``transport`` in
+        ``{"auto", "shm"}`` on a capable platform) they do not cross it at
+        all: the GOP's planes are published into one shared block and
+        jobs carry only ``(tile, ladder, block descriptor, rect)``. The
+        block is unlinked in a ``finally``, so worker failure and
+        KeyboardInterrupt cannot leak it. Platforms without shared memory
+        degrade to the pickling transport, and from there (no usable
+        pool) to the serial path; every path is byte-identical.
+
+        An explicit ``executor`` takes precedence over ``workers`` and is
+        not shut down here — ingest passes one shared pool so it is paid
+        for once per video, not once per GOP. Dispatch chunking is sized
+        from the executor's actual worker count.
+        """
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
         if not frames:
             raise ValueError("cannot encode an empty GOP")
         for index, frame in enumerate(frames):
@@ -343,36 +480,101 @@ class TiledVideoCodec:
                     f"frame {index} is {frame.width}x{frame.height}, "
                     f"codec configured for {self.width}x{self.height}"
                 )
-        jobs: list[tuple[tuple[int, int], Quality, list[Frame]]] = []
-        for tile, quality in quality_map.items():
-            row, col = tile
-            self.grid.index_of(row, col)
-            x0 = col * self.tile_width
-            y0 = row * self.tile_height
-            sub_frames = [
-                frame.crop(x0, y0, x0 + self.tile_width, y0 + self.tile_height)
-                for frame in frames
-            ]
-            jobs.append((tile, quality, sub_frames))
+        for tile, ladder in ladder_map.items():
+            if not ladder:
+                raise ValueError(f"tile {tile} has an empty quality ladder")
+        rects = {tile: self._tile_rect(tile) for tile in ladder_map}
         own_pool = None
         if executor is None:
-            executor = own_pool = make_encode_executor(workers, len(jobs))
+            executor = own_pool = make_encode_executor(
+                workers, len(ladder_map), registry=registry
+            )
         try:
-            if executor is not None:
-                chunk = max(1, len(jobs) // (4 * max(workers, 1)))
-                payloads = dict(executor.map(_encode_tile_job, jobs, chunksize=chunk))
+            if executor is None:
+                encoded = {}
+                for tile, ladder in ladder_map.items():
+                    sub_frames = self._crop(frames, rects[tile])
+                    encoded[tile] = tuple(
+                        self._codec(quality).encode_gop(sub_frames)
+                        for quality in ladder
+                    )
             else:
-                payloads = {
-                    tile: self._codec(quality).encode_gop(sub_frames)
-                    for tile, quality, sub_frames in jobs
-                }
+                encoded = self._encode_parallel(
+                    frames, ladder_map, rects, executor, workers, transport, registry
+                )
         finally:
             if own_pool is not None:
                 own_pool.shutdown()
-        return TiledGop(
-            width=self.width,
-            height=self.height,
-            grid=self.grid,
-            frame_count=len(frames),
-            payloads=payloads,
-        )
+        return {
+            (tile, quality): payload
+            for tile, ladder in ladder_map.items()
+            for quality, payload in zip(ladder, encoded[tile])
+        }
+
+    @staticmethod
+    def _crop(frames: list[Frame], rect: tuple[int, int, int, int]) -> list[Frame]:
+        return [frame.crop(*rect) for frame in frames]
+
+    def _encode_parallel(
+        self,
+        frames: list[Frame],
+        ladder_map: dict[tuple[int, int], tuple[Quality, ...]],
+        rects: dict[tuple[int, int], tuple[int, int, int, int]],
+        executor: Executor,
+        workers: int,
+        transport: str,
+        registry,
+    ) -> dict[tuple[int, int], tuple[bytes, ...]]:
+        chunk = _dispatch_chunksize(len(ladder_map), executor, workers)
+        published = None
+        try:
+            if transport != "pickle":
+                if shared_memory_available():
+                    try:
+                        published = publish_gop(frames)
+                    except OSError as error:
+                        self._note_shm_fallback(transport, registry, error)
+                else:
+                    self._note_shm_fallback(transport, registry, None)
+            if published is not None:
+                if registry is not None:
+                    registry.counter(
+                        "ingest.shm_gops", "GOPs shipped via shared memory"
+                    ).inc()
+                jobs = [
+                    (tile, ladder, published.descriptor, rects[tile])
+                    for tile, ladder in ladder_map.items()
+                ]
+                pairs = executor.map(_encode_tile_shm_job, jobs, chunksize=chunk)
+            else:
+                if registry is not None:
+                    registry.counter(
+                        "ingest.pickled_gops", "GOPs shipped by pickling raw frames"
+                    ).inc()
+                jobs = [
+                    (tile, ladder, self._crop(frames, rects[tile]))
+                    for tile, ladder in ladder_map.items()
+                ]
+                pairs = executor.map(_encode_tile_ladder_job, jobs, chunksize=chunk)
+            # dict() drains the map, so every job is done (or has raised)
+            # before the finally below unlinks the block.
+            return dict(pairs)
+        finally:
+            if published is not None:
+                published.destroy()
+
+    @staticmethod
+    def _note_shm_fallback(transport: str, registry, error: OSError | None) -> None:
+        if transport == "shm":
+            detail = f" ({error!r})" if error is not None else ""
+            warnings.warn(
+                "shared-memory transport requested but unavailable"
+                f"{detail}; falling back to the pickling transport",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if registry is not None:
+            registry.counter(
+                "ingest.shm_fallback",
+                "GOPs that fell back from shared memory to pickling",
+            ).inc()
