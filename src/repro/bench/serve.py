@@ -35,6 +35,20 @@ errors, and the report gains a ``failover`` section (failovers, retries,
 degradations, budget spend) so the cost of the outage is visible, not
 just survived.
 
+``--shards N`` (with ``--replication-factor R``) runs the *sharded*
+tier instead: the ingested store is partitioned across N per-node roots
+by the consistent-hash shard map (every node holds all metadata but only
+its owned segment files — see :mod:`repro.serve.placement`), sessions
+stream through the shard-aware failover client, and non-owned requests
+exercise the server-side peer-fetch tier. A deterministic *peer probe*
+(one non-owned segment fetched directly from a non-owner, byte-compared
+against storage) runs before the sessions so the report always proves
+the fabric works. Without ``--kill-after`` the sharded QoE must still
+bit-match the simulated path — the differential acceptance criterion
+extended to shard routing; with it, node-0 dies mid-run and every
+session must still complete. The report gains a ``shards`` section with
+the peer-fetch and shard-routing counters.
+
 Writes ``BENCH_serve.json``. Run with ``--smoke`` in CI for a
 seconds-long pass with 4 sessions and a 1-second measurement window.
 """
@@ -134,6 +148,34 @@ def _sessions_summary(results: list[dict], window_count: int) -> dict:
         "bytes": sum(r.get("bytes", 0) for r in results),
         "matches_sim": sum(1 for r in results if r.get("matches_sim")),
     }
+
+
+def _peer_probe(storage, manifest, shard_map, node_ids, node_urls) -> dict:
+    """One deterministic peer fetch: the first segment (path order)
+    requested from a node that does *not* own it, byte-compared against
+    the authoritative store.
+
+    This is the fabric's proof-of-life, independent of whether the
+    session traffic happens to route any request off its owners — the CI
+    gate asserts on the resulting ``serve.peer_fetches >= 1``.
+    """
+    keys = sorted(manifest.segment_sizes, key=lambda key: key.to_path())
+    for key in keys:
+        owners = shard_map.owners("bench", key)
+        outsiders = [node for node in node_ids if node not in owners]
+        if not outsiders:
+            continue  # replication_factor == shards: everyone owns everything
+        node = outsiders[0]
+        with HttpSegmentClient(node_urls[node]) as client:
+            data = client.fetch_segment("bench", key)
+        expected = storage.read_segment("bench", key.window, key.tile, key.quality)
+        return {
+            "node": node,
+            "segment": key.to_path(),
+            "owners": list(owners),
+            "byte_identical": data == expected,
+        }
+    return {"skipped": "every node owns every segment"}
 
 
 # -- the saturating load driver -----------------------------------------------
@@ -378,18 +420,65 @@ def run(args: argparse.Namespace) -> dict:
             for trace in traces
         ]
 
-        failover_mode = args.replicas > 1 or args.kill_after is not None
+        shard_mode = args.shards > 1
+        failover_mode = args.replicas > 1 or args.kill_after is not None or shard_mode
         serve_registry = MetricsRegistry()  # shared: /metrics is tier-wide
-        handles = [
-            start_server(
-                storage,
-                ServerConfig(
-                    read_workers=args.read_workers, queue_depth=args.queue_depth
-                ),
-                registry=serve_registry,
+        shard_map = None
+        node_urls: dict[str, str] | None = None
+        shards_report: dict | None = None
+        if shard_mode:
+            from repro.serve.placement import ShardMap, materialize_shards
+
+            node_ids = [f"node-{index}" for index in range(args.shards)]
+            shard_map = ShardMap(
+                nodes=tuple(node_ids), replication_factor=args.replication_factor
             )
-            for _ in range(args.replicas)
-        ]
+            node_roots = {
+                node: Path(root) / "shards" / node for node in node_ids
+            }
+            placed = materialize_shards(storage, node_roots, shard_map)
+            handles = [
+                start_server(
+                    StorageManager(node_roots[node], registry=serve_registry),
+                    ServerConfig(
+                        read_workers=args.read_workers,
+                        queue_depth=args.queue_depth,
+                        node_id=node,
+                        shard_map=shard_map,
+                        peer_timeout=2.0,
+                    ),
+                    registry=serve_registry,
+                )
+                for node in node_ids
+            ]
+            # Two-phase wiring: ports are ephemeral, so the node → URL
+            # table exists only after every server is up.
+            node_urls = {
+                node_ids[index]: handles[index].base_url
+                for index in range(args.shards)
+            }
+            for handle in handles:
+                handle.update_shard_map(shard_map, node_urls)
+            shards_report = {
+                "shards": args.shards,
+                "replication_factor": args.replication_factor,
+                "map_version": shard_map.version,
+                "segments_per_node": placed,
+                "probe": _peer_probe(
+                    storage, manifest, shard_map, node_ids, node_urls
+                ),
+            }
+        else:
+            handles = [
+                start_server(
+                    storage,
+                    ServerConfig(
+                        read_workers=args.read_workers, queue_depth=args.queue_depth
+                    ),
+                    registry=serve_registry,
+                )
+                for _ in range(args.replicas)
+            ]
         killer: threading.Timer | None = None
         try:
             base_urls = [handle.base_url for handle in handles]
@@ -405,6 +494,8 @@ def run(args: argparse.Namespace) -> dict:
                         traces[viewer],
                         _session_config(args.bandwidth),
                         registry=registry,
+                        shard_map=shard_map,
+                        node_urls=node_urls,
                     )
                 except Exception as error:  # a died session is a violation, not a crash
                     return {"session": viewer, "error": f"{type(error).__name__}: {error}"}
@@ -460,7 +551,11 @@ def run(args: argparse.Namespace) -> dict:
     violations = _check_invariants(
         results,
         manifest.window_count,
-        require_sim_match=not failover_mode,
+        # A healthy sharded tier must still bit-match the simulated path
+        # (the shard-routing differential); only replica spreading and
+        # mid-run kills relax the equivalence.
+        require_sim_match=(not failover_mode)
+        or (shard_mode and args.replicas == 1 and args.kill_after is None),
         require_no_degradation=args.kill_after is None,
     )
     violations.extend(_check_load_invariants(load_modes))
@@ -496,6 +591,8 @@ def run(args: argparse.Namespace) -> dict:
             "queue_depth": args.queue_depth,
             "replicas": args.replicas,
             "kill_after": args.kill_after,
+            "shards": args.shards,
+            "replication_factor": args.replication_factor,
             "cpu_count": os.cpu_count(),
             "processes": args.processes,
             "pin_budget_bytes": args.pin_budget,
@@ -522,6 +619,30 @@ def run(args: argparse.Namespace) -> dict:
         "load": {"modes": load_modes},
         "metrics": metrics,
     }
+    if shard_mode:
+        assert shards_report is not None
+        shards_report.update(
+            {
+                "peer_fetches": serve_registry.counter("serve.peer_fetches").total(),
+                "peer_bytes": serve_registry.counter("serve.peer_bytes").total(),
+                "peer_cache_hits": serve_registry.counter(
+                    "serve.peer_cache_hits"
+                ).total(),
+                "peer_errors": serve_registry.counter("serve.peer_errors").total(),
+                "peer_fallback_local": serve_registry.counter(
+                    "serve.peer_fallback_local"
+                ).total(),
+                "shard_routed": sum(
+                    registry.counter("failover.shard_routed").total()
+                    for registry in session_registries
+                ),
+                "shard_unroutable": sum(
+                    registry.counter("failover.shard_unroutable").total()
+                    for registry in session_registries
+                ),
+            }
+        )
+        report["shards"] = shards_report
     if failover_mode:
 
         def across_sessions(name: str) -> float:
@@ -578,6 +699,24 @@ def run(args: argparse.Namespace) -> dict:
                 for mode in load_modes
             ],
         )
+    if shard_mode:
+        shards = report["shards"]
+        emit_table(
+            "sharded delivery",
+            [
+                {
+                    "nodes": shards["shards"],
+                    "rf": shards["replication_factor"],
+                    "peer fetches": f"{shards['peer_fetches']:.0f}",
+                    "peer hits": f"{shards['peer_cache_hits']:.0f}",
+                    "peer errs": f"{shards['peer_errors']:.0f}",
+                    "routed": f"{shards['shard_routed']:.0f}",
+                    "probe": "ok"
+                    if shards["probe"].get("byte_identical")
+                    else shards["probe"].get("skipped", "FAILED"),
+                }
+            ],
+        )
     if failover_mode:
         failover = report["failover"]
         emit_table(
@@ -627,7 +766,19 @@ def main(argv: list[str] | None = None) -> int:
         "--kill-after",
         type=float,
         default=None,
-        help="hard-stop replica 0 this many seconds into the run",
+        help="hard-stop replica (or shard node) 0 this many seconds into the run",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the store across N consistent-hash shard nodes",
+    )
+    parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=2,
+        help="owners per segment in the shard map (--shards mode)",
     )
     parser.add_argument(
         "--connections",
@@ -679,7 +830,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.replicas < 1:
         parser.error("--replicas must be >= 1")
-    if args.kill_after is not None and args.replicas < 2:
+    if args.shards < 0 or args.shards == 1:
+        parser.error("--shards must be 0 (off) or >= 2")
+    if args.shards:
+        if args.replicas > 1:
+            parser.error("--shards and --replicas are mutually exclusive tiers")
+        if not 1 <= args.replication_factor <= args.shards:
+            parser.error("--replication-factor must be in [1, --shards]")
+        if args.kill_after is not None and args.replication_factor < 2:
+            parser.error(
+                "--kill-after with --shards needs --replication-factor >= 2 "
+                "(a surviving owner must remain for every segment)"
+            )
+    elif args.kill_after is not None and args.replicas < 2:
         parser.error("--kill-after needs --replicas >= 2 (a survivor must remain)")
     if args.connections < 1:
         parser.error("--connections must be >= 1")

@@ -311,6 +311,10 @@ class ScenarioRunner:
         sessions = scenario.sessions
         count = int(sessions.get("count", 2))
         replica_count = int(sessions.get("replicas", 1))
+        if sessions.get("shards"):
+            # Shard mode: the tier width is the shard count; each node is
+            # both a ring owner and a client-facing replica.
+            replica_count = int(sessions["shards"])
         bandwidth = float(sessions.get("bandwidth", 50_000.0))
         policy_name = sessions.get("policy", "predictive")
         predictor = sessions.get("predictor", "static")
@@ -319,13 +323,30 @@ class ScenarioRunner:
         population = ViewerPopulation(seed=scenario.seed)
         client_metrics = MetricsRegistry()
         hedge_delay = sessions.get("hedge_delay")
+        # Sharded wire mode: nodes get *logical* ids ("node-0", ...) so the
+        # consistent-hash placement — and with it every routing decision —
+        # is identical across replays despite ephemeral ports.
+        shard_map = None
+        node_ids = [f"node-{index}" for index in range(replica_count)]
+        if sessions.get("shards"):
+            from repro.serve.placement import ShardMap
+
+            shard_map = ShardMap(
+                nodes=tuple(node_ids),
+                replication_factor=int(sessions.get("replication_factor", 2)),
+            )
 
         handles: list = []
         proxies: list[ChaosProxy] = []
         client = None
         try:
             for index in range(replica_count):
-                handle = start_server(db.storage, ServerConfig(), registry=db.metrics)
+                config = (
+                    ServerConfig(node_id=node_ids[index], shard_map=shard_map)
+                    if shard_map is not None
+                    else ServerConfig()
+                )
+                handle = start_server(db.storage, config, registry=db.metrics)
                 handles.append(handle)
                 proxy = ChaosProxy(
                     handle.address,
@@ -333,6 +354,16 @@ class ScenarioRunner:
                 )
                 proxy.start()
                 proxies.append(proxy)
+            if shard_map is not None:
+                # Peer fetches go server-to-server directly (not through
+                # the chaos proxies): the plan's fault surface stays the
+                # client-facing wire, exactly as in unsharded runs.
+                peers = {
+                    node_ids[index]: handles[index].base_url
+                    for index in range(replica_count)
+                }
+                for handle in handles:
+                    handle.update_shard_map(shard_map, peers)
             client = FailoverSegmentClient(
                 [proxy.base_url for proxy in proxies],
                 config=FailoverConfig(
@@ -342,6 +373,13 @@ class ScenarioRunner:
                     hedge_delay=None if hedge_delay is None else float(hedge_delay),
                 ),
                 registry=client_metrics,
+                shard_map=shard_map,
+                node_urls={
+                    node_ids[index]: proxies[index].base_url
+                    for index in range(replica_count)
+                }
+                if shard_map is not None
+                else None,
             )
             storage = RemoteStorage(client, registry=client_metrics)
             streamer = Streamer(storage, db.prediction, registry=client_metrics)
@@ -363,6 +401,21 @@ class ScenarioRunner:
                 except Exception as error:  # noqa: BLE001 — escapes ARE the finding
                     failures.append((viewer, f"{type(error).__name__}: {error}"))
             extra_checks, extra_metrics = self._judge_wire(client, failures)
+            if shard_map is not None:
+                extra_metrics["shards"] = {
+                    "nodes": len(node_ids),
+                    "replication_factor": shard_map.replication_factor,
+                    "map_version": shard_map.version,
+                    "routed": client.metrics.counter("failover.shard_routed").total(),
+                    "unroutable": client.metrics.counter(
+                        "failover.shard_unroutable"
+                    ).total(),
+                    "peer_fetches": db.metrics.counter("serve.peer_fetches").total(),
+                    "peer_cache_hits": db.metrics.counter(
+                        "serve.peer_cache_hits"
+                    ).total(),
+                    "peer_errors": db.metrics.counter("serve.peer_errors").total(),
+                }
             return self._judge(
                 db,
                 meta,

@@ -168,7 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="hard-stop replica 0 this many seconds into the run "
-        "(needs --replicas >= 2)",
+        "(needs --replicas >= 2, or --shards with --replication-factor >= 2)",
+    )
+    bench_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve from N shard nodes on a consistent-hash ring "
+        "(0 disables sharding; mutually exclusive with --replicas > 1)",
+    )
+    bench_serve.add_argument(
+        "--replication-factor",
+        type=int,
+        default=2,
+        help="owners per segment on the shard ring (with --shards)",
     )
     bench_serve.add_argument(
         "--connections",
@@ -491,6 +504,11 @@ def _command_bench_serve(db: VisualCloud, args) -> int:
     ]
     if args.kill_after is not None:
         argv += ["--kill-after", str(args.kill_after)]
+    if args.shards:
+        argv += [
+            "--shards", str(args.shards),
+            "--replication-factor", str(args.replication_factor),
+        ]
     if args.processes is not None:
         argv += ["--processes", str(args.processes)]
     if args.pin_budget is not None:

@@ -10,6 +10,14 @@ Writes are no-overwrite and versioned: re-storing a video writes only the
 changed segments plus a new metadata file whose index points at old files
 for unchanged content. Readers of an existing version are unaffected —
 snapshot isolation by construction.
+
+The read surface — ``build_manifest`` + ``read_segment`` — is the
+:class:`~repro.core.backends.SegmentBackend` protocol (re-exported here
+as :data:`SegmentBackend`): :class:`StorageManager` is its canonical
+local-disk implementation, and the in-memory / remote-peer / tiered
+backends in :mod:`repro.core.backends` satisfy the same contract, which
+is what lets the sharded delivery tier serve segments a node does not
+own.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.core.backends import SegmentBackend
 from repro.core.catalog import Catalog
 from repro.core.errors import (
     CatalogError,

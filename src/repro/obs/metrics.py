@@ -384,10 +384,12 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
     Counters and gauges sum per series (gauges here are sizes — pinned
     bytes, in-flight requests — where the fleet total is the meaningful
     number). Histograms keep exact count/sum/min/max arithmetic; the
-    quantiles come from pooling the workers' sample windows when present
-    (``snapshot(include_samples=True)``), else from a count-weighted
-    average of the per-worker quantiles as a fallback. Spans are
-    per-process debugging detail and are dropped from the merged view.
+    quantiles come from pooling the workers' sample windows when *every*
+    live worker carried one (``snapshot(include_samples=True)``), else
+    from a count-weighted average of the per-worker quantiles — mixing
+    the two would weight the merged quantiles entirely toward whichever
+    workers happened to include samples. Spans are per-process debugging
+    detail and are dropped from the merged view.
     """
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
@@ -415,10 +417,17 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
             "max": max(part["max"] for part in live),
             "mean": total / count,
         }
-        pooled: list[float] = []
-        for part in live:
-            pooled.extend(part.get("samples", ()))
-        if pooled:
+        # Pool sample windows only when *every* live part carries one:
+        # with a mixed fleet (one worker snapshotted with samples, a
+        # sibling without), pooling would compute merged quantiles from
+        # the sampled worker alone and silently drop the other worker's
+        # distribution — the count-weighted average is honest about what
+        # each part contributed.
+        sampled = [part for part in live if part.get("samples")]
+        if sampled and len(sampled) == len(live):
+            pooled: list[float] = []
+            for part in live:
+                pooled.extend(part["samples"])
             pooled.sort()
             last = len(pooled) - 1
             for q in QUANTILES:
@@ -426,8 +435,12 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
         else:
             for q in QUANTILES:
                 tag = f"p{int(q * 100)}"
+                with_tag = [part for part in live if tag in part]
+                if not with_tag:
+                    continue  # no part reported this quantile: omit, not 0.0
+                tag_count = sum(part["count"] for part in with_tag)
                 merged[tag] = (
-                    sum(part.get(tag, 0.0) * part["count"] for part in live) / count
+                    sum(part[tag] * part["count"] for part in with_tag) / tag_count
                 )
         histograms[name] = merged
     return {

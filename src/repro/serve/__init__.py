@@ -9,6 +9,11 @@ loop against the real socket by adapting the wire to the storage read
 contract; and :mod:`repro.serve.failover` spreads that client over a
 replicated tier with circuit breakers, a retry budget, ``Retry-After``
 backoff, and optional hedged requests.
+
+Sharded delivery (:mod:`repro.serve.placement`): a consistent-hash
+:class:`ShardMap` assigns every segment to ``replication_factor`` owner
+nodes, servers peer-fetch non-owned segments from siblings, and the
+failover client routes owners-first — see DESIGN.md "Sharded delivery".
 """
 
 from repro.serve.client import HttpSegmentClient, RemoteStorage, serve_session
@@ -21,6 +26,7 @@ from repro.serve.failover import (
 )
 from repro.serve.hotset import HotSet, PinnedSegment
 from repro.serve.multiproc import MultiProcessServerHandle
+from repro.serve.placement import HashRing, ShardMap, materialize_shards, stable_hash
 from repro.serve.server import (
     SegmentServer,
     ServerConfig,
@@ -33,6 +39,7 @@ __all__ = [
     "CircuitBreaker",
     "FailoverConfig",
     "FailoverSegmentClient",
+    "HashRing",
     "HotSet",
     "HttpSegmentClient",
     "MultiProcessServerHandle",
@@ -44,6 +51,9 @@ __all__ = [
     "ServerConfig",
     "ServerHandle",
     "ServerStartupError",
+    "ShardMap",
+    "materialize_shards",
     "serve_session",
+    "stable_hash",
     "start_server",
 ]

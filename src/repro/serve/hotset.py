@@ -119,6 +119,11 @@ class HotSet:
     def __contains__(self, path: str) -> bool:
         return path in self._entries
 
+    def paths(self) -> list[str]:
+        """Every currently pinned path — the shard-map coherence pass
+        walks this to decide which pins a topology change invalidates."""
+        return list(self._entries)
+
     # -- hit path -------------------------------------------------------------
 
     def lookup(self, path: str) -> PinnedSegment | None:

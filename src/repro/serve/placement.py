@@ -1,0 +1,262 @@
+"""Consistent-hash segment placement: the shard map behind the delivery tier.
+
+PR 5 treated every replica as a full copy of storage; this module is the
+routing/blueprint split that lets the tier scale past one machine's disk.
+A :class:`ShardMap` is the *blueprint*: a versioned, immutable assignment
+of every ``(video, SegmentKey)`` to ``replication_factor`` owner nodes,
+computed from a consistent-hash ring over logical node ids. Routing — in
+the server's peer-fetch path and the failover client's owner-first
+candidate ordering — consults the map but never mutates it; topology
+changes produce a *new* map with a higher version, and key movement is
+bounded (only keys adjacent to the joined/left node's virtual points move,
+≈ ``keys / nodes`` per single-node change).
+
+Three design rules, each load-bearing:
+
+* **Stable hashing.** Placement uses SHA-1 over UTF-8 tokens, never
+  Python's ``hash()`` — the latter is salted per process, which would give
+  every worker its own idea of ownership. The property suite
+  (``tests/test_placement.py``) pins determinism across processes/seeds.
+* **Logical node ids.** The ring hashes node *ids* ("node-0", ...), not
+  URLs. Servers bind ephemeral ports in tests/bench/chaos; hashing URLs
+  would reshuffle ownership on every run and break deterministic wire
+  scenarios. A side table (``node_urls``) maps ids to addresses at the
+  edge.
+* **Versioned maps.** Every derived map (:meth:`ShardMap.with_nodes`)
+  bumps ``version``; the server publishes the map in the manifest and
+  clients adopt strictly newer versions only, so a stale manifest can
+  never roll routing backwards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.stream.dash import SegmentKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.storage import StorageManager
+
+__all__ = ["HashRing", "ShardMap", "materialize_shards", "stable_hash"]
+
+
+def stable_hash(token: str) -> int:
+    """A 64-bit position on the ring for ``token``.
+
+    SHA-1 of the UTF-8 bytes, truncated to 8 bytes. Deterministic across
+    processes, platforms, and ``PYTHONHASHSEED`` — the one property the
+    whole fabric rests on.
+    """
+    return int.from_bytes(hashlib.sha1(token.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over logical node ids with virtual nodes.
+
+    Each node contributes ``vnodes`` points at ``stable_hash(f"{id}#{i}")``;
+    a key's owners are the first ``count`` *distinct* nodes clockwise from
+    the key's own hash. Virtual nodes smooth the load split (the property
+    suite bounds per-node share) and bound key movement when the node set
+    changes.
+    """
+
+    def __init__(self, nodes: Iterable[str], vnodes: int = 64) -> None:
+        node_list = list(nodes)
+        if not node_list:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(node_list)) != len(node_list):
+            raise ValueError(f"duplicate node ids in {node_list!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes = tuple(node_list)
+        self.vnodes = vnodes
+        points = []
+        for node in node_list:
+            for replica in range(vnodes):
+                points.append((stable_hash(f"{node}#{replica}"), node))
+        # Sorting (hash, node) pairs breaks the (astronomically unlikely)
+        # hash tie deterministically by node id.
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def owners(self, token: str, count: int) -> tuple[str, ...]:
+        """The first ``min(count, len(nodes))`` distinct nodes clockwise
+        from ``stable_hash(token)``. Always non-empty, always distinct."""
+        if count < 1:
+            raise ValueError(f"owner count must be >= 1, got {count}")
+        want = min(count, len(self.nodes))
+        start = bisect.bisect_right(self._hashes, stable_hash(token)) % len(self._points)
+        found: list[str] = []
+        seen: set[str] = set()
+        index = start
+        while len(found) < want:
+            node = self._points[index][1]
+            if node not in seen:
+                seen.add(node)
+                found.append(node)
+            index = (index + 1) % len(self._points)
+        return tuple(found)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """A versioned assignment of segments to owner nodes.
+
+    Immutable and picklable (it rides inside ``ServerConfig`` to spawned
+    worker processes). The ring itself is derived lazily and cached.
+    """
+
+    nodes: tuple[str, ...]
+    replication_factor: int = 2
+    version: int = 1
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ValueError("a shard map needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"duplicate node ids in {self.nodes!r}")
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, got {self.replication_factor}"
+            )
+        if self.version < 1:
+            raise ValueError(f"shard map version must be >= 1, got {self.version}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+
+    @property
+    def ring(self) -> HashRing:
+        ring = self.__dict__.get("_ring")
+        if ring is None:
+            ring = HashRing(self.nodes, vnodes=self.vnodes)
+            object.__setattr__(self, "_ring", ring)
+        return ring
+
+    @staticmethod
+    def segment_token(video: str, key: SegmentKey) -> str:
+        """The ring token of one segment: ``video/window/row/col/quality``.
+
+        Versions are deliberately absent — a reingest must not migrate a
+        segment to different owners, or every pinned/cached copy would go
+        cold on each new version.
+        """
+        return f"{video}/{key.to_path()}"
+
+    def owners(self, video: str, key: SegmentKey) -> tuple[str, ...]:
+        """The ``min(replication_factor, len(nodes))`` owner node ids of a
+        segment, primary first."""
+        return self.ring.owners(self.segment_token(video, key), self.replication_factor)
+
+    def owns(self, node: str, video: str, key: SegmentKey) -> bool:
+        return node in self.owners(video, key)
+
+    def with_nodes(self, nodes: Iterable[str]) -> "ShardMap":
+        """A successor map over a new node set, with ``version + 1``."""
+        return ShardMap(
+            nodes=tuple(nodes),
+            replication_factor=self.replication_factor,
+            version=self.version + 1,
+            vnodes=self.vnodes,
+        )
+
+    # -- wire (de)serialisation -------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-able form, embedded under ``"shard_map"`` in wire manifests."""
+        return {
+            "nodes": list(self.nodes),
+            "replication_factor": self.replication_factor,
+            "version": self.version,
+            "vnodes": self.vnodes,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "ShardMap":
+        return cls(
+            nodes=tuple(str(node) for node in data["nodes"]),
+            replication_factor=int(data["replication_factor"]),
+            version=int(data["version"]),
+            vnodes=int(data.get("vnodes", 64)),
+        )
+
+
+def materialize_shards(
+    storage: "StorageManager",
+    node_roots: Mapping[str, Path | str],
+    shard_map: ShardMap,
+) -> dict[str, int]:
+    """Partition a full store into per-node shard roots.
+
+    Every node receives *all* metadata files (so ``build_manifest`` and the
+    ``/manifest`` endpoint work on any node) but only the segment files it
+    owns under ``shard_map`` — a missing file on a non-owner is exactly
+    what routes a read onto the peer-fetch path. Files are hard-linked
+    when the filesystem allows (segment files are immutable per version,
+    so sharing inodes is safe) and copied otherwise.
+
+    Returns the number of segment files placed per node. Raises
+    ``ValueError`` if ``node_roots`` does not cover the map's node set.
+    """
+    missing = [node for node in shard_map.nodes if node not in node_roots]
+    if missing:
+        raise ValueError(f"node_roots missing entries for {missing!r}")
+
+    def place(source: Path, destination: Path) -> None:
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        if destination.exists():
+            return
+        try:
+            os.link(source, destination)
+        except OSError:
+            shutil.copy2(source, destination)
+
+    placed = {node: 0 for node in shard_map.nodes}
+    root = Path(storage.catalog.root)
+    for name in storage.list_videos():
+        video_dir = root / name
+        if not video_dir.is_dir():
+            continue
+        for entry in sorted(video_dir.rglob("*")):
+            if not entry.is_file():
+                continue
+            relative = entry.relative_to(root)
+            if entry.parent.name == "segments":
+                try:
+                    key, _version = _parse_segment_file(entry.name)
+                except ValueError:
+                    continue  # not a segment payload; leave it behind
+                for node in shard_map.owners(name, key):
+                    place(entry, Path(node_roots[node]) / relative)
+                    placed[node] += 1
+            else:
+                for node in shard_map.nodes:
+                    place(entry, Path(node_roots[node]) / relative)
+    return placed
+
+
+def _parse_segment_file(file_name: str) -> tuple[SegmentKey, int]:
+    """Invert :meth:`SegmentKey.file_name`: ``g00001_r0_c1_high_v2.seg``."""
+    stem, _, suffix = file_name.rpartition(".")
+    if suffix != "seg":
+        raise ValueError(f"not a segment file: {file_name!r}")
+    parts = stem.split("_")
+    if len(parts) != 5:
+        raise ValueError(f"unrecognised segment file name: {file_name!r}")
+    gop, row, col, label, version = parts
+    if not (gop.startswith("g") and row.startswith("r") and col.startswith("c")):
+        raise ValueError(f"unrecognised segment file name: {file_name!r}")
+    if not version.startswith("v"):
+        raise ValueError(f"unrecognised segment file name: {file_name!r}")
+    from repro.video.quality import Quality
+
+    key = SegmentKey(int(gop[1:]), (int(row[1:]), int(col[1:])), Quality.from_label(label))
+    return key, int(version[1:])

@@ -79,6 +79,7 @@ from repro.core.errors import (
 )
 from repro.obs import MetricsRegistry, merge_snapshots
 from repro.serve.hotset import HotSet
+from repro.serve.placement import ShardMap
 from repro.stream.dash import SegmentKey
 
 _MAX_REQUEST_BYTES = 16 * 1024  # request line + headers; GETs carry no body
@@ -103,6 +104,12 @@ class ServerConfig:
     pin_threshold: int = 3  # cold-path hits before a segment is pinned
     prewarm: tuple[str, ...] = ()  # videos pinned hottest-first at startup
     metrics_ttl: float = 0.25  # /metrics render cache (seconds); 0 disables
+    # -- sharded delivery (see repro.serve.placement) ----------------------
+    node_id: str = ""  # this node's logical id in the shard map; "" = unsharded
+    shard_map: ShardMap | None = None  # segment → owners blueprint
+    peers: tuple[tuple[str, str], ...] = ()  # (node_id, base_url) sibling addresses
+    peer_timeout: float = 5.0  # seconds per peer segment fetch
+    peer_cache_bytes: int = 8 * 1024 * 1024  # peer-fetched payload cache; 0 disables
 
     def __post_init__(self) -> None:
         if self.read_workers < 1:
@@ -133,6 +140,19 @@ class ServerConfig:
             raise ValueError(f"pin_threshold must be >= 1, got {self.pin_threshold}")
         if self.metrics_ttl < 0:
             raise ValueError(f"metrics_ttl must be >= 0, got {self.metrics_ttl}")
+        if self.shard_map is not None and not self.node_id:
+            raise ValueError("a shard map needs a node_id for this server")
+        if self.shard_map is not None and self.node_id not in self.shard_map.nodes:
+            raise ValueError(
+                f"node_id {self.node_id!r} is not in the shard map "
+                f"({self.shard_map.nodes!r})"
+            )
+        if self.peer_timeout <= 0:
+            raise ValueError(f"peer_timeout must be positive, got {self.peer_timeout}")
+        if self.peer_cache_bytes < 0:
+            raise ValueError(
+                f"peer_cache_bytes must be >= 0, got {self.peer_cache_bytes}"
+            )
 
 
 def _status_for(error: BaseException) -> int:
@@ -300,6 +320,49 @@ class SegmentServer:
         # Multi-process wiring (set by the worker shim, see multiproc.py).
         self._worker_id: int | None = None
         self._peer_ports: tuple[int, ...] = ()
+        # Sharded-delivery wiring. The shard map and peer table are read
+        # on executor threads but only *replaced* (never mutated) on the
+        # loop thread — atomic attribute swaps need no lock.
+        self.shard_map: ShardMap | None = self.config.shard_map
+        self.node_id: str = self.config.node_id
+        self._peer_backends: dict[str, object] = {}
+        self._peer_lock = threading.Lock()
+        if self.config.peers:
+            self._set_peer_urls(dict(self.config.peers))
+        # The peer cache owns a private registry: LruSegmentCache reports
+        # under ``cache.*``, and sharing the server registry would fold
+        # peer-tier hits into the storage buffer pool's accounting.
+        from repro.core.cache import LruSegmentCache
+
+        self._peer_cache = (
+            LruSegmentCache(self.config.peer_cache_bytes, registry=MetricsRegistry())
+            if self.config.peer_cache_bytes > 0
+            else None
+        )
+        self._peer_fetches = self.metrics.counter(
+            "serve.peer_fetches", "segments fetched from sibling nodes"
+        ).labels()
+        self._peer_bytes = self.metrics.counter(
+            "serve.peer_bytes", "segment bytes fetched from sibling nodes"
+        ).labels()
+        self._peer_cache_hits = self.metrics.counter(
+            "serve.peer_cache_hits", "non-owned reads served from the peer cache"
+        ).labels()
+        self._peer_errors = self.metrics.counter(
+            "serve.peer_errors", "failed peer fetch attempts"
+        ).labels()
+        self._peer_fallback_local = self.metrics.counter(
+            "serve.peer_fallback_local",
+            "non-owned reads served from local storage after peers failed",
+        ).labels()
+        self._gauge_shard_version = self.metrics.gauge(
+            "serve.shard_map_version", "version of the active shard map"
+        )
+        self._shard_updates = self.metrics.counter(
+            "serve.shard_map_updates", "shard map replacements applied"
+        ).labels()
+        if self.shard_map is not None:
+            self._gauge_shard_version.set(self.shard_map.version)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -344,6 +407,126 @@ class SegmentServer:
         """Tell this worker who its siblings are (admin ports)."""
         self._worker_id = worker_id
         self._peer_ports = tuple(peer_ports)
+
+    # -- sharded delivery ------------------------------------------------------
+
+    def _set_peer_urls(self, urls: dict[str, str]) -> None:
+        """(Re)build the sibling backend table from node id → base URL."""
+        from repro.core.backends import RemotePeerBackend
+
+        with self._peer_lock:
+            for node, backend in list(self._peer_backends.items()):
+                if urls.get(node) != backend.base_url:
+                    backend.close()
+                    del self._peer_backends[node]
+            for node, url in urls.items():
+                if node == self.node_id or node in self._peer_backends:
+                    continue
+                self._peer_backends[node] = RemotePeerBackend(
+                    url, timeout=self.config.peer_timeout
+                )
+
+    def _peer_backend(self, node: str):
+        with self._peer_lock:
+            return self._peer_backends.get(node)
+
+    def update_shard_map(self, shard_map: ShardMap, peers=None) -> int:
+        """Swap in a new placement blueprint (loop thread only).
+
+        Coherence on topology change: the peer cache is cleared (its
+        entries were placed under the old map's ownership) and every
+        pinned segment this node no longer owns is dropped via
+        ``unpin_prefix`` — RAM freed for the hot set the new map actually
+        routes here. Returns the number of pins dropped. Version
+        monotonicity is enforced: a stale map is rejected, so a replayed
+        manifest can never roll routing backwards.
+        """
+        previous = self.shard_map
+        if previous is not None and shard_map.version < previous.version:
+            raise ValueError(
+                f"shard map v{shard_map.version} is older than active "
+                f"v{previous.version}; refusing to roll back"
+            )
+        self.shard_map = shard_map
+        if peers is not None:
+            self._set_peer_urls(dict(peers))
+        self._shard_updates.inc()
+        self._gauge_shard_version.set(shard_map.version)
+        if self._peer_cache is not None:
+            self._peer_cache.clear()
+        dropped = 0
+        if self.hot.enabled and self.node_id:
+            for path in self.hot.paths():
+                parts = [part for part in path.split("/") if part]
+                if len(parts) != 6 or parts[0] != "segment":
+                    continue
+                try:
+                    key = SegmentKey.from_path("/".join(parts[2:]))
+                except ValueError:
+                    continue
+                if not shard_map.owns(self.node_id, parts[1], key):
+                    dropped += self.hot.unpin_prefix(path)
+        return dropped
+
+    def _peer_read(self, name: str, key: SegmentKey, owners) -> bytes:
+        """A non-owned read: peer cache first, then the owners (blocking;
+        runs on the read executor).
+
+        Single-flight through the cache's ``get_or_load``: N sessions
+        missing on the same non-owned segment cost one peer fetch.
+        """
+        loaded = False
+
+        def fetch() -> bytes:
+            nonlocal loaded
+            loaded = True
+            return self._fetch_from_owners(name, key, owners)
+
+        if self._peer_cache is None:
+            return fetch()
+        data = self._peer_cache.get_or_load((name, key), fetch)
+        if not loaded:
+            self._peer_cache_hits.inc()
+        return data
+
+    def _fetch_from_owners(self, name: str, key: SegmentKey, owners) -> bytes:
+        """One segment's bytes from its owner nodes, first reachable wins.
+
+        Error contract: an owner answering 404 is *authoritative* — the
+        segment does not exist anywhere, and the not-found propagates.
+        Owners that are merely unreachable are skipped; when all of them
+        are, local storage is tried (full-copy deployments and freshly
+        re-mapped nodes often still hold the bytes) and only then does
+        the read surface as transient, so clients fail over instead of
+        treating an outage as data loss.
+        """
+        last_error: Exception | None = None
+        for node in owners:
+            if node == self.node_id:
+                continue
+            backend = self._peer_backend(node)
+            if backend is None:
+                continue
+            try:
+                data = backend.fetch_segment_key(name, key)
+            except SegmentNotFoundError:
+                raise
+            except TransientSegmentError as error:  # includes read timeouts
+                self._peer_errors.inc()
+                last_error = error
+                continue
+            self._peer_fetches.inc()
+            self._peer_bytes.inc(len(data))
+            return data
+        try:
+            data = self.storage.read_segment(name, key.window, key.tile, key.quality)
+        except SegmentNotFoundError:
+            raise TransientSegmentError(
+                f"no owner of {name}/{key.to_path()} is reachable "
+                f"(owners={list(owners)!r}, last error: {last_error})"
+            ) from last_error
+        self._peer_fallback_local.inc()
+        return data
 
     async def stop(self) -> None:
         """Drain and shut down: no new connections, queued responses
@@ -623,13 +806,33 @@ class SegmentServer:
 
     async def _manifest(self, name: str) -> _Response:
         manifest = await self._offload(lambda: self.storage.build_manifest(name))
-        return _json_response(200, manifest.to_json())
+        payload = manifest.to_json()
+        shard_map = self.shard_map
+        if shard_map is not None:
+            # Published here, not baked into the stored manifest: the map
+            # is delivery-tier state with its own version stream.
+            payload["shard_map"] = shard_map.to_json()
+        return _json_response(200, payload)
 
     async def _segment(self, name: str, tail: str, target: str) -> _Response:
         key = SegmentKey.from_path(tail)  # ValueError → 400
-        data = await self._offload(
-            lambda: self.storage.read_segment(name, key.window, key.tile, key.quality)
+        shard_map = self.shard_map
+        owners = (
+            shard_map.owners(name, key)
+            if shard_map is not None and self.node_id
+            else None
         )
+        if owners is not None and self.node_id not in owners:
+            # Not ours: the peer tier answers before storage is consulted
+            # (placement decides the path — a local 404 on a non-owner is
+            # an artefact of partitioning, never an authoritative answer).
+            data = await self._offload(lambda: self._peer_read(name, key, owners))
+        else:
+            data = await self._offload(
+                lambda: self.storage.read_segment(
+                    name, key.window, key.tile, key.quality
+                )
+            )
         if self.hot.enabled:
             self.hot.record(target, data)
         return _Response(200, data)
@@ -774,6 +977,21 @@ class ServerHandle:
     def base_url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def update_shard_map(self, shard_map: ShardMap, peers=None) -> int:
+        """Apply a new shard map (and optionally a peer table) on the
+        server's loop thread; returns the number of pins dropped.
+
+        This is the two-phase wiring a sharded tier needs: servers bind
+        ephemeral ports first, then every node learns the full node →
+        URL table once all siblings are up.
+        """
+
+        async def apply() -> int:
+            return self.server.update_shard_map(shard_map, peers)
+
+        future = asyncio.run_coroutine_threadsafe(apply(), self._loop)
+        return future.result(timeout=10.0)
 
     def stop(self) -> None:
         if not self._thread.is_alive():

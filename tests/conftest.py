@@ -6,12 +6,22 @@ full suite stays fast; realism lives in the benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import IngestConfig, Quality, TileGrid, VisualCloud
 from repro.video.frame import Frame
 from repro.workloads.videos import synthetic_video
+
+# CI runs the property suites under a pinned profile so a red build is
+# reproducible locally: HYPOTHESIS_PROFILE=shard-ci derandomizes example
+# generation and drops the per-example deadline (shared CI runners stall).
+settings.register_profile("shard-ci", max_examples=50, deadline=None, derandomize=True)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

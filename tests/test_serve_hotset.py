@@ -283,3 +283,98 @@ class TestPrewarmWeights:
 
 def client_free_snapshot(server: SegmentServer) -> dict:
     return server.metrics.snapshot()
+
+
+class TestReingestCoherence:
+    """``unpin_prefix`` is the coherence hook for catalog mutation.
+
+    Segment pin paths are version-free (``/segment/name/w/r/c/q``), so a
+    reingest creates a new storage version *under* an existing pin: the
+    server keeps answering from the RAM copy of the old version until the
+    operator invalidates the prefix. These tests pin that whole story —
+    staleness is real, the invalidation is surgical, and after it the
+    wire serves the latest stored bytes again.
+    """
+
+    def _ingest(self, db, name="vr"):
+        from repro import IngestConfig, Quality, TileGrid
+        from repro.workloads.videos import synthetic_video
+
+        config = IngestConfig(
+            grid=TileGrid(2, 2),
+            qualities=(Quality.HIGH, Quality.LOW),
+            gop_frames=4,
+            fps=4.0,
+        )
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=2.0, seed=7
+        )
+        db.ingest(name, frames, config)
+
+    def _wire_bytes(self, base_url, storage, name):
+        manifest = storage.build_manifest(name)
+        with HttpSegmentClient(base_url) as client:
+            return {
+                key: client.fetch_segment(name, key) for key in manifest.segment_sizes
+            }
+
+    def _storage_bytes(self, storage, name):
+        manifest = storage.build_manifest(name)
+        return {
+            key: storage.read_segment(name, key.window, key.tile, key.quality)
+            for key in manifest.segment_sizes
+        }
+
+    def test_reingest_then_unpin_prefix_serves_latest_bytes(self, db):
+        self._ingest(db)
+        handle = start_server(
+            db.storage,
+            ServerConfig(
+                drain_timeout=2.0,
+                pin_budget_bytes=32 * 1024 * 1024,
+                pin_threshold=1,
+                prewarm=("vr",),
+            ),
+            registry=MetricsRegistry(),
+        )
+        try:
+            server = handle.server
+            assert len(server.hot) > 0
+            before = self._storage_bytes(db.storage, "vr")
+            assert self._wire_bytes(handle.base_url, db.storage, "vr") == before
+
+            db.reingest("vr")
+            after = self._storage_bytes(db.storage, "vr")
+
+            # The pins predate the reingest: the wire still answers with
+            # the old version's bytes for every pinned key.
+            assert self._wire_bytes(handle.base_url, db.storage, "vr") == before
+
+            dropped = server.hot.unpin_prefix("/segment/vr/")
+            assert dropped == len(before)
+            assert len(server.hot) == 0
+
+            # With the stale pins gone the server reads storage again —
+            # byte-identical to the latest stored version.
+            assert self._wire_bytes(handle.base_url, db.storage, "vr") == after
+        finally:
+            handle.stop()
+
+    def test_unpin_prefix_is_surgical_across_videos(self, db):
+        self._ingest(db, "alpha")
+        self._ingest(db, "beta")
+        server = SegmentServer(
+            db.storage,
+            ServerConfig(pin_budget_bytes=32 * 1024 * 1024, pin_threshold=1),
+        )
+        pinned_alpha = server.prewarm_pins("alpha")
+        pinned_beta = server.prewarm_pins("beta")
+        assert pinned_alpha > 0 and pinned_beta > 0
+
+        db.reingest("alpha")
+        dropped = server.hot.unpin_prefix("/segment/alpha/")
+        assert dropped == pinned_alpha
+        # Beta's pins are untouched — invalidation is per-prefix, not a
+        # full flush.
+        assert len(server.hot) == pinned_beta
+        assert all(path.startswith("/segment/beta/") for path in server.hot.paths())

@@ -158,3 +158,101 @@ class TestMergeSnapshots:
         assert merged["workers"] == 1
         assert merged["counters"]["serve.requests"] == 1.0
         assert merged["histograms"]["serve.request_seconds"]["count"] == 2
+
+
+class TestMergeSnapshotsMixedSamples:
+    """Regressions for histograms that only *some* workers sampled.
+
+    A fleet snapshot is not uniform: a worker that answered ``/metrics``
+    without ``include_samples``, or whose sample window rotated out,
+    contributes quantile tags but no raw samples. Pooling in that mix
+    used to compute merged quantiles from the sampled workers alone —
+    silently dropping the other worker's entire distribution.
+    """
+
+    def test_mixed_sampled_and_sampleless_workers_average_not_pool(self):
+        # Worker A: 9 fast requests with a sample window. Worker B: 9
+        # slow requests, quantiles only. Pooling A's samples alone would
+        # report p99 ~= 0.001; the honest merge weighs both equally.
+        sampled = _snapshot_with_traffic([0.001] * 9)
+        sampleless = {
+            "histograms": {
+                "serve.request_seconds": {
+                    "count": 9, "sum": 9.0, "min": 1.0, "max": 1.0,
+                    "p50": 1.0, "p90": 1.0, "p99": 1.0,
+                }
+            }
+        }
+        merged = merge_snapshots([sampled, sampleless])
+        summary = merged["histograms"]["serve.request_seconds"]
+        assert summary["count"] == 18
+        assert summary["p99"] == pytest.approx((0.001 + 1.0) / 2)
+        assert summary["max"] == pytest.approx(1.0)
+
+    def test_empty_sample_list_is_sampleless(self):
+        # "samples": [] (a rotated-out window) must behave exactly like
+        # an absent key — fall back to the weighted average, never pool.
+        empty_window = {
+            "histograms": {
+                "h": {
+                    "count": 2, "sum": 1.0, "min": 0.5, "max": 0.5,
+                    "p50": 0.5, "p90": 0.5, "p99": 0.5, "samples": [],
+                }
+            }
+        }
+        sampled = {
+            "histograms": {
+                "h": {
+                    "count": 2, "sum": 0.2, "min": 0.1, "max": 0.1,
+                    "p50": 0.1, "p90": 0.1, "p99": 0.1, "samples": [0.1, 0.1],
+                }
+            }
+        }
+        merged = merge_snapshots([empty_window, sampled])
+        summary = merged["histograms"]["h"]
+        assert summary["count"] == 4
+        assert summary["p50"] == pytest.approx(0.3)
+
+    def test_histogram_on_one_worker_keeps_its_quantiles(self):
+        # The histogram exists on only one worker's snapshot and that
+        # worker carried no samples: its own quantile tags must survive
+        # the merge instead of the series being reported without them.
+        only = {
+            "histograms": {
+                "h": {
+                    "count": 5, "sum": 2.5, "min": 0.5, "max": 0.5,
+                    "p50": 0.5, "p90": 0.5, "p99": 0.5, "samples": [],
+                }
+            }
+        }
+        other = {"histograms": {}}
+        merged = merge_snapshots([only, other])
+        summary = merged["histograms"]["h"]
+        assert summary["count"] == 5
+        assert summary["p50"] == pytest.approx(0.5)
+        assert summary["p99"] == pytest.approx(0.5)
+
+    def test_no_quantiles_anywhere_omits_the_tags(self):
+        # When no live part reports a quantile there is nothing honest to
+        # publish: the keys are omitted entirely, never invented as 0.0
+        # (a p99 of zero reads as "everything was instant").
+        bare = {"histograms": {"h": {"count": 3, "sum": 0.9, "min": 0.3, "max": 0.3}}}
+        merged = merge_snapshots([bare, bare])
+        summary = merged["histograms"]["h"]
+        assert summary["count"] == 6
+        for tag in ("p50", "p90", "p99"):
+            assert tag not in summary
+
+    def test_single_worker_fleet_with_empty_samples(self):
+        snapshot = {
+            "histograms": {
+                "h": {
+                    "count": 1, "sum": 0.2, "min": 0.2, "max": 0.2,
+                    "p50": 0.2, "p90": 0.2, "p99": 0.2, "samples": [],
+                }
+            }
+        }
+        merged = merge_snapshots([snapshot])
+        summary = merged["histograms"]["h"]
+        assert summary["p50"] == pytest.approx(0.2)
+        assert summary["mean"] == pytest.approx(0.2)
