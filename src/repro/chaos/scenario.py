@@ -364,6 +364,49 @@ class ScenarioRunner:
                 }
                 for handle in handles:
                     handle.update_shard_map(shard_map, peers)
+            controller = None
+            if sessions.get("controller"):
+                # Deterministic control plane: driven synchronously
+                # between sessions (no wall-clock thread), with a
+                # counting clock and deterministic=True (no latency
+                # reads), so demand — and with it every plan — is a pure
+                # function of the replayed request sequence and the
+                # whole report stays byte-identical per seed.
+                from itertools import count as _tick_counter
+
+                from repro.control import (
+                    ControlConfig,
+                    Controller,
+                    HandleActuator,
+                    NodeState,
+                    catalog_from_storage,
+                )
+
+                ticks = _tick_counter()
+                pin_budget = int(sessions.get("pin_budget", 1 << 20))
+                control_nodes = tuple(
+                    NodeState(
+                        node_id=node_id,
+                        pin_budget_bytes=pin_budget,
+                        max_inflight=None,
+                        processes=1,
+                    )
+                    for node_id in (node_ids if shard_map is not None else [""])
+                )
+                controller = Controller(
+                    ControlConfig(
+                        enabled=True,
+                        deterministic=True,
+                        prewarm_threshold=float(
+                            sessions.get("prewarm_threshold", 0.5)
+                        ),
+                    ),
+                    metrics_source=db.metrics.snapshot,
+                    catalog_source=lambda: catalog_from_storage(db.storage),
+                    nodes_source=lambda: control_nodes,
+                    actuators=tuple(HandleActuator(handle) for handle in handles),
+                    clock=lambda: float(next(ticks)),
+                )
             client = FailoverSegmentClient(
                 [proxy.base_url for proxy in proxies],
                 config=FailoverConfig(
@@ -400,7 +443,35 @@ class ScenarioRunner:
                     reports[viewer] = streamer.serve(self.VIDEO_NAME, trace, config)
                 except Exception as error:  # noqa: BLE001 — escapes ARE the finding
                     failures.append((viewer, f"{type(error).__name__}: {error}"))
+                if controller is not None:
+                    controller.step()
             extra_checks, extra_metrics = self._judge_wire(client, failures)
+            if controller is not None:
+                # Only counter/plan-derived fields: no wall-clock values
+                # leak into the report, so double replays stay identical.
+                extra_metrics["control"] = {
+                    "steps": controller.metrics.counter("control.steps").total(),
+                    "plans_applied": controller.metrics.counter(
+                        "control.plans_applied"
+                    ).total(),
+                    "plans_noop": controller.metrics.counter(
+                        "control.plans_noop"
+                    ).total(),
+                    "actuate_errors": controller.metrics.counter(
+                        "control.actuate_errors"
+                    ).total(),
+                    "final_version": (
+                        0 if controller.plan is None else controller.plan.version
+                    ),
+                    "nodes": [
+                        {
+                            key: value
+                            for key, value in handle.control_state().items()
+                            if key != "inflight"
+                        }
+                        for handle in handles
+                    ],
+                }
             if shard_map is not None:
                 extra_metrics["shards"] = {
                     "nodes": len(node_ids),

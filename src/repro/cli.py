@@ -10,6 +10,8 @@ The operational surface a deployment needs:
     python -m repro serve demo --policy predictive --bandwidth 20000
     python -m repro serve demo --transport http     # real-socket delivery
     python -m repro bench-serve --smoke             # wire load harness
+    python -m repro bench-serve --smoke --controller  # flash-crowd differential
+    python -m repro control http://127.0.0.1:8600   # live control-plane state
     python -m repro query demo --select-time 0:2 --grayscale --store gray
     python -m repro export demo /tmp/demo.mp4
     python -m repro metrics demo --sessions 4 --format prom
@@ -221,8 +223,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the QoE phase (no saturating load modes)",
     )
+    bench_serve.add_argument(
+        "--controller",
+        action="store_true",
+        help="run the flash-crowd phase: predictive control plane on vs off",
+    )
     bench_serve.add_argument("--output", default="BENCH_serve.json")
     bench_serve.add_argument("--smoke", action="store_true")
+
+    control = commands.add_parser(
+        "control",
+        help="inspect or drive a live segment server's control plane "
+        "(GET/POST /control)",
+    )
+    control.add_argument("url", help="base URL of a running segment server")
+    control.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="set the admission ceiling (0 = unlimited)",
+    )
+    control.add_argument(
+        "--pin-budget",
+        type=int,
+        default=None,
+        help="resize the RAM hot-set budget in bytes",
+    )
+    control.add_argument(
+        "--prewarm",
+        default=None,
+        metavar="VIDEO",
+        help="pre-warm VIDEO's segments hottest-first under the pin budget",
+    )
 
     query = commands.add_parser("query", help="run a fixed query pipeline")
     query.add_argument("name")
@@ -381,12 +413,16 @@ def _command_serve(db: VisualCloud, args) -> None:
         margin=args.margin,
         evaluate_quality=args.probe,
     )
+    from repro.control import ClusterConfig
+
     if args.transport == "http":
         if args.probe:
             raise VisualCloudError("--probe needs decoded access; not available over http")
         if args.url is not None:
             report = db.serve(
-                args.name, (trace, config), transport="http", base_url=args.url
+                args.name,
+                (trace, config),
+                cluster=ClusterConfig(transport="http", base_url=args.url),
             )
         else:
             from repro.serve import start_server
@@ -394,11 +430,14 @@ def _command_serve(db: VisualCloud, args) -> None:
             with start_server(db.storage) as handle:
                 print(f"(loopback segment server at {handle.base_url})")
                 report = db.serve(
-                    args.name, (trace, config),
-                    transport="http", base_url=handle.base_url,
+                    args.name,
+                    (trace, config),
+                    cluster=ClusterConfig(
+                        transport="http", base_url=handle.base_url
+                    ),
                 )
     else:
-        report = db.serve(args.name, (trace, config))
+        report = db.serve(args.name, (trace, config), cluster=ClusterConfig())
     for key, value in report.summary().items():
         print(f"{key:>18}: {value}")
 
@@ -515,9 +554,68 @@ def _command_bench_serve(db: VisualCloud, args) -> int:
         argv += ["--pin-budget", str(args.pin_budget)]
     if args.skip_load:
         argv.append("--skip-load")
+    if args.controller:
+        argv.append("--controller")
     if args.smoke:
         argv.append("--smoke")
     return bench_serve_main(argv)
+
+
+def _command_control(db: VisualCloud, args) -> int:
+    """Operate a live server's control plane over its HTTP endpoints.
+
+    With no action flags, prints the current ``GET /control`` state.
+    Actions are versioned: each one reads the server's active plan
+    version and submits version+1, so a concurrent controller's newer
+    plan makes the CLI's request fail with 409 instead of silently
+    rolling the tier back.
+    """
+    import json
+
+    from repro.serve.client import HttpSegmentClient
+
+    with HttpSegmentClient(args.url) as client:
+        state = client.fetch_control()
+        actions = [args.max_inflight, args.pin_budget, args.prewarm]
+        if all(value is None for value in actions):
+            print(json.dumps(state, indent=2, sort_keys=True))
+            return 0
+        version = int(state["version"]) + 1
+        if args.prewarm is not None or args.pin_budget is not None:
+            payload: dict = {"version": version, "prewarm": []}
+            if args.pin_budget is not None:
+                payload["pin_budget_bytes"] = args.pin_budget
+            if args.prewarm is not None:
+                from repro.control import default_segment_weights
+
+                manifest = client.fetch_manifest(args.prewarm)
+                weights = default_segment_weights(manifest)
+                ranked = sorted(
+                    weights, key=lambda key: (-weights[key], key.to_path())
+                )
+                payload["prewarm"] = [
+                    [
+                        f"/segment/{args.prewarm}/{key.to_path()}",
+                        max(1, int(1000 * weights[key])),
+                    ]
+                    for key in ranked
+                ]
+            result = client.post_control("prewarm", payload)
+            print(
+                f"v{result['version']}: pinned {result['pinned']} segments "
+                f"({result['dropped']} dropped), pin budget "
+                f"{result['pin_budget_bytes']} bytes"
+            )
+            version += 1
+        if args.max_inflight is not None:
+            ceiling = None if args.max_inflight == 0 else args.max_inflight
+            result = client.post_control(
+                "limits", {"version": version, "max_inflight": ceiling}
+            )
+            rendered = "unlimited" if ceiling is None else str(ceiling)
+            print(f"v{result['version']}: max_inflight -> {rendered}")
+        print(json.dumps(client.fetch_control(), indent=2, sort_keys=True))
+    return 0
 
 
 def _command_chaos(db: VisualCloud, args) -> int:
@@ -585,6 +683,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "metrics": _command_metrics,
     "bench-serve": _command_bench_serve,
+    "control": _command_control,
     "chaos": _command_chaos,
 }
 

@@ -14,14 +14,13 @@ management) hangs off the same object.
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Iterable
 
 from repro.core.predictor import PredictionService
 from repro.core.query import Expr, QueryExecutor, QueryResult
 from repro.core.storage import IngestConfig, StorageManager, VideoMeta
-from repro.core.streamer import SessionConfig, Streamer
+from repro.core.streamer import Streamer
 from repro.obs import MetricsRegistry
 from repro.predict.traces import Trace
 from repro.stream.network import SimulatedLink
@@ -123,52 +122,56 @@ class VisualCloud:
         self,
         name: str,
         sessions,
-        config: SessionConfig | None = None,
         *,
+        cluster=None,
         link: SimulatedLink | None = None,
-        transport: str = "sim",
-        base_url: str | None = None,
         start_offsets: list[float] | None = None,
+        transport: str | None = None,
+        base_url: str | None = None,
     ) -> QoEReport | list[QoEReport]:
         """Stream a stored video to one or many viewers — the single
         delivery entry point.
 
         ``sessions`` is one ``(trace, config)`` pair or a list of them;
         a single pair returns one :class:`QoEReport`, a list returns a
-        list in the same order. Dispatch:
+        list in the same order. The delivery tier is described by one
+        :class:`~repro.control.ClusterConfig` (``cluster=``); dispatch
+        follows its ``transport``:
 
-        * ``transport="sim"``, no ``link`` — each session runs on its own
-          simulated link (:class:`~repro.core.streamer.Streamer`);
-        * ``transport="sim"`` with ``link`` — all sessions contend for
-          the shared bottleneck
-          (:class:`~repro.core.multisession.SharedLinkStreamer`),
+        * ``"sim"`` (the default), no ``link`` — each session runs on
+          its own simulated link (:class:`~repro.core.streamer.Streamer`);
+        * ``"sim"`` with ``link`` — all sessions contend for the shared
+          bottleneck (:class:`~repro.core.multisession.SharedLinkStreamer`),
           optionally staggered by ``start_offsets``;
-        * ``transport="http"`` — sessions fetch real bytes from the
-          segment server at ``base_url`` (:func:`repro.serve.serve_session`),
-          reusing this instance's trained predictors. Playback timing
-          still follows each session's bandwidth model, so reports stay
-          comparable with the simulated paths.
+        * ``"http"`` — sessions fetch real bytes from the segment server
+          at the cluster's ``base_url``
+          (:func:`repro.serve.serve_session`), reusing this instance's
+          trained predictors. Playback timing still follows each
+          session's bandwidth model, so reports stay comparable with the
+          simulated paths.
 
-        The pre-unification call shape ``serve(name, trace, config)``
-        still works but warns: detected by ``trace`` being a
-        :class:`Trace`, it runs one simulated session exactly as before.
+        The pre-cluster kwargs ``transport=``/``base_url=`` keep working
+        for one release via a mapping shim that warns. The PR 4-era
+        shapes ``serve(name, trace, config)`` and ``serve_all`` (which
+        warned for five releases) are gone; use ``(trace, config)``
+        pairs and ``serve(name, sessions, link=...)``.
         """
+        from repro.control.config import ClusterConfig, cluster_from_legacy_kwargs
+
         if isinstance(sessions, Trace):
-            if config is None:
-                raise TypeError("legacy serve(name, trace, config) requires a config")
-            warnings.warn(
-                "serve(name, trace, config) is deprecated; use "
-                "serve(name, (trace, config))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self.streamer.serve(name, sessions, config)
-        if config is not None:
             raise TypeError(
-                "positional config is only for the deprecated "
-                "serve(name, trace, config) form; put configs in the "
-                "(trace, config) pairs"
+                "serve(name, trace, config) was removed; pass "
+                "serve(name, (trace, config)) instead"
             )
+        if transport is not None or base_url is not None:
+            if cluster is not None:
+                raise TypeError(
+                    "pass cluster=ClusterConfig(...) or the deprecated "
+                    "transport=/base_url= kwargs, not both"
+                )
+            cluster = cluster_from_legacy_kwargs(transport or "sim", base_url)
+        elif cluster is None:
+            cluster = ClusterConfig()
 
         single = isinstance(sessions, tuple)
         pairs = [sessions] if single else list(sessions)
@@ -177,12 +180,8 @@ class VisualCloud:
                 raise TypeError(
                     f"sessions must be (trace, config) pairs, got {pair!r}"
                 )
-        if transport not in ("sim", "http"):
-            raise ValueError(f"unknown transport {transport!r}; use 'sim' or 'http'")
 
-        if transport == "http":
-            if base_url is None:
-                raise ValueError("transport='http' requires base_url")
+        if cluster.transport == "http":
             if link is not None:
                 raise ValueError(
                     "transport='http' uses the real socket; a simulated "
@@ -192,7 +191,7 @@ class VisualCloud:
 
             reports = [
                 serve_session(
-                    base_url, name, trace, session_config,
+                    cluster.base_url, name, trace, session_config,
                     registry=self.metrics, prediction=self.prediction,
                 )
                 for trace, session_config in pairs
@@ -211,25 +210,6 @@ class VisualCloud:
                 for trace, session_config in pairs
             ]
         return reports[0] if single else reports
-
-    def serve_all(
-        self,
-        sessions: list[tuple[str, Trace, SessionConfig]],
-        link: SimulatedLink,
-        start_offsets: list[float] | None = None,
-    ) -> list[QoEReport]:
-        """Deprecated: use :meth:`serve` with ``link=``.
-
-        Kept for callers streaming *heterogeneous* video names over one
-        link, which the unified entry (scoped to one name) does not
-        cover; same behaviour as before, now with a warning.
-        """
-        warnings.warn(
-            "serve_all is deprecated; use serve(name, sessions, link=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.shared_streamer.serve_all(sessions, link, start_offsets)
 
     # -- queries ---------------------------------------------------------------------
 

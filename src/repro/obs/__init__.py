@@ -13,7 +13,10 @@ from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
     QUANTILES,
+    counter_deltas,
     merge_snapshots,
+    series_label,
+    snapshot_quantile,
 )
 from repro.obs.tracing import SpanRecord, Tracer
 
@@ -26,5 +29,8 @@ __all__ = [
     "QUANTILES",
     "SpanRecord",
     "Tracer",
+    "counter_deltas",
     "merge_snapshots",
+    "series_label",
+    "snapshot_quantile",
 ]

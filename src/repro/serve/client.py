@@ -116,9 +116,12 @@ class HttpSegmentClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, path: str) -> tuple[int, dict, bytes]:
-        """One GET; returns (status, headers, body). All transport
+    def _request(
+        self, path: str, method: str = "GET", payload: bytes | None = None
+    ) -> tuple[int, dict, bytes]:
+        """One request; returns (status, headers, body). All transport
         failures leave as taxonomy errors, never raw OS exceptions."""
+        headers = {"Content-Type": "application/json"} if payload is not None else {}
         with self._lock:
             # A connection that already served requests may have been
             # closed by the server's keep-alive policy; one fresh-socket
@@ -128,20 +131,20 @@ class HttpSegmentClient:
                 connection = self._connect()
                 deadline = monotonic() + self.timeout
                 try:
-                    connection.request("GET", path)
+                    connection.request(method, path, body=payload, headers=headers)
                     response = connection.getresponse()
                     body = self._read_body(connection, response, deadline)
                 except socket.timeout as error:
                     self._drop_connection()
                     raise SegmentReadTimeout(
-                        f"GET {path} exceeded the {self.timeout:.3f}s budget"
+                        f"{method} {path} exceeded the {self.timeout:.3f}s budget"
                     ) from error
                 except (ConnectionError, http.client.HTTPException, OSError) as error:
                     self._drop_connection()
                     if attempt < attempts:
                         continue
                     raise TransientSegmentError(
-                        f"GET {path} failed in transit: {error}"
+                        f"{method} {path} failed in transit: {error}"
                     ) from error
                 self._served_requests += 1
                 if response.will_close:
@@ -234,6 +237,26 @@ class HttpSegmentClient:
         status, headers, body = self._request(path)
         self._raise_for_status(status, headers, body, path)
         return json.loads(body)
+
+    def fetch_control(self) -> dict:
+        """The server's live control-plane state (``GET /control``)."""
+        status, headers, body = self._request("/control")
+        self._raise_for_status(status, headers, body, "/control")
+        return json.loads(body)
+
+    def post_control(self, route: str, payload: dict) -> dict:
+        """Apply a control payload (``POST /control/<route>``); a 409
+        stale-version refusal surfaces as ``StalePlanError`` rather than
+        the segment taxonomy's corrupt-read mapping."""
+        path = f"/control/{route}"
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        status, headers, response = self._request(path, method="POST", payload=body)
+        if status == 409:
+            from repro.control.actuators import StalePlanError
+
+            raise StalePlanError(response.decode("utf-8", "replace"))
+        self._raise_for_status(status, headers, response, path)
+        return json.loads(response)
 
     def healthy(self) -> bool:
         try:

@@ -600,6 +600,38 @@ class FailoverSegmentClient:
         assert last_error is not None
         raise last_error
 
+    # -- control plane --------------------------------------------------------
+
+    def broadcast_control(self, plan) -> dict:
+        """Push one versioned control plan to every configured replica —
+        the controller's fan-out when it holds replica URLs instead of
+        in-process handles.
+
+        Best-effort per replica: an unreachable node is reported, not
+        fatal (it will refuse or accept the next plan when it returns,
+        and version monotonicity makes late application safe). Only a
+        *unanimous* stale-version refusal re-raises — that means another
+        controller is ahead of this one.
+        """
+        from repro.control.actuators import HttpActuator, StalePlanError
+
+        applied: dict[str, dict] = {}
+        refused: dict[str, str] = {}
+        errors: dict[str, str] = {}
+        for replica in self.replicas.replicas:
+            actuator = HttpActuator(
+                replica.url, timeout=self.config.request_timeout
+            )
+            try:
+                applied[replica.url] = actuator.apply(plan)
+            except StalePlanError as error:
+                refused[replica.url] = str(error)
+            except Exception as error:  # noqa: BLE001 - per-replica report
+                errors[replica.url] = f"{type(error).__name__}: {error}"
+        if refused and not applied:
+            raise StalePlanError(next(iter(refused.values())))
+        return {"applied": applied, "refused": refused, "errors": errors}
+
     # -- introspection --------------------------------------------------------
 
     def breaker_transitions(self) -> dict[str, list[tuple[str, str]]]:

@@ -21,9 +21,18 @@ Admission:
   it reaches ``threshold`` requests — the runtime feedback loop.
 
 Eviction is colder-first and deterministic: a candidate may displace
-pinned entries only when their observed hit counts are strictly lower
-than the candidate's heat, so a prewarmed hot set is not churned by
-one-off requests.
+pinned entries only when their heat is strictly lower than the
+candidate's, so a prewarmed hot set is not churned by one-off requests.
+
+Heat is one number with one definition — :meth:`HotSet.heat` — shared
+by eviction, the control plane's pre-warm ranking, and anything else
+that asks "how hot is this path": *base heat* (set by a control plan or
+prewarm, the predicted component) plus *observed hits* (pinned-entry
+lookups, or cold-path candidate counts). Before this accessor existed,
+runtime promotion counted raw hits while prewarm ranked on popularity
+weights, and the two orderings could disagree about which segment
+deserved the RAM; now a planner decision and an eviction decision read
+the same scale.
 
 Coherence contract: pinning sits *above* the storage layer's version
 fencing. Segment files are immutable per version, so pinned bytes can
@@ -94,6 +103,7 @@ class HotSet:
         self.bytes_pinned = 0
         self._entries: dict[str, PinnedSegment] = {}
         self._counts: dict[str, int] = {}
+        self._base_heat: dict[str, int] = {}
         self._hits = registry.counter(
             "serve.pin_hits", "requests served from the pinned hot set"
         ).labels()
@@ -124,6 +134,40 @@ class HotSet:
         walks this to decide which pins a topology change invalidates."""
         return list(self._entries)
 
+    # -- heat: the one ordering everyone shares --------------------------------
+
+    def heat(self, path: str) -> int:
+        """This path's heat: base heat (predicted, set by a control plan
+        or prewarm) plus observed activity (pinned hits, or cold-path
+        candidate count). Eviction, the controller's pre-warm ranking,
+        and operator introspection all read this one number."""
+        base = self._base_heat.get(path, 0)
+        entry = self._entries.get(path)
+        if entry is not None:
+            return base + entry.hits
+        return base + self._counts.get(path, 0)
+
+    def set_base_heat(self, heats: dict[str, int]) -> None:
+        """Replace the predicted-heat layer (a control plan's pre-warm
+        ranking). Replacement, not merge: a plan that stops predicting a
+        path withdraws its protection, so stale predictions age out on
+        the next plan instead of accreting forever."""
+        self._base_heat = {path: int(heat) for path, heat in heats.items()}
+
+    def set_budget(self, budget_bytes: int) -> None:
+        """Resize the pin budget at runtime; shrinking evicts coldest
+        first until the pinned bytes fit again."""
+        if budget_bytes < 0:
+            raise ValueError(f"pin budget must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        while self.bytes_pinned > self.budget_bytes:
+            victim = min(
+                self._entries.values(), key=lambda e: (self.heat(e.path), e.path)
+            )
+            self._remove(victim.path)
+            self._evictions.inc()
+        self._update_gauges()
+
     # -- hit path -------------------------------------------------------------
 
     def lookup(self, path: str) -> PinnedSegment | None:
@@ -136,11 +180,13 @@ class HotSet:
     # -- admission ------------------------------------------------------------
 
     def record(self, path: str, body: bytes) -> bool:
-        """Count one cold-path serve; promote at ``threshold`` hits."""
+        """Count one cold-path serve; promote once :meth:`heat` (base
+        heat + observed count) reaches ``threshold`` — a path the
+        planner already predicts hot earns its pin in fewer hits."""
         if not self.enabled or path in self._entries:
             return False
         count = self._counts.pop(path, 0) + 1
-        if count >= self.threshold:
+        if count + self._base_heat.get(path, 0) >= self.threshold:
             return self.pin(path, body, heat=count)
         if len(self._counts) >= self.max_tracked:
             # Cheap aging: drop all candidate counts instead of keeping
@@ -152,7 +198,13 @@ class HotSet:
 
     def pin(self, path: str, body: bytes, heat: int = 0) -> bool:
         """Pin ``path`` if it fits the budget, evicting strictly-colder
-        entries; returns whether the path is pinned afterwards."""
+        entries; returns whether the path is pinned afterwards.
+
+        ``heat`` is the candidate's claimed heat (promotion count, or a
+        control plan's predicted heat); its effective heat is at least
+        :meth:`heat` of the path itself, so a prediction and an observed
+        streak compound rather than compete.
+        """
         if not self.enabled:
             return False
         if path in self._entries:
@@ -161,9 +213,12 @@ class HotSet:
         if need > self.budget_bytes:
             self._rejects.inc()
             return False
+        candidate = max(int(heat), self.heat(path))
         while self.bytes_pinned + need > self.budget_bytes:
-            victim = min(self._entries.values(), key=lambda e: (e.hits, e.path))
-            if victim.hits >= heat:
+            victim = min(
+                self._entries.values(), key=lambda e: (self.heat(e.path), e.path)
+            )
+            if self.heat(victim.path) >= candidate:
                 self._rejects.inc()
                 return False
             self._remove(victim.path)
@@ -185,6 +240,8 @@ class HotSet:
             self._remove(path)
         for path in [p for p in self._counts if p.startswith(prefix)]:
             del self._counts[path]
+        for path in [p for p in self._base_heat if p.startswith(prefix)]:
+            del self._base_heat[path]
         self._update_gauges()
         return len(doomed)
 

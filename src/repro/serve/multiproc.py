@@ -134,6 +134,19 @@ def _run_worker(
         await server.stop()
         loop.stop()
 
+    async def _apply_control(payload: dict) -> None:
+        # Runs on the loop thread, so the apply is serialized with the
+        # hit path exactly as in a single-process server. Refusals
+        # (stale version) are a distinct reply: the parent treats them
+        # as the rollback-refusal contract, not a worker failure.
+        try:
+            summary = server.apply_control_plan(payload)
+            conn.send(("control_ok", summary))
+        except ValueError as error:
+            conn.send(("control_refused", str(error)))
+        except Exception as error:  # noqa: BLE001 - reported over the pipe
+            conn.send(("control_error", f"{type(error).__name__}: {error}"))
+
     def _on_control() -> None:
         try:
             command = conn.recv()
@@ -143,6 +156,8 @@ def _run_worker(
             command = ("stop",)
         if command[0] == "stop":
             loop.create_task(_shutdown())
+        elif command[0] == "control":
+            loop.create_task(_apply_control(command[1]))
 
     loop.add_reader(conn.fileno(), _on_control)
     try:
@@ -266,6 +281,55 @@ class MultiProcessServerHandle:
     def base_url(self) -> str:
         host, port = self._address
         return f"http://{host}:{port}"
+
+    def apply_control_plan(self, plan, timeout: float = 30.0) -> dict:
+        """Fan one control plan out to every worker over the pipes and
+        collect their summaries.
+
+        Every worker applies the same plan (they share the catalog and
+        the node identity), so the fleet-level summary sums pin counts
+        and reports the common version. A unanimous refusal re-raises as
+        ``ValueError`` — the same stale-plan contract as a single
+        server; partial refusals (a worker restarted mid-rollout and is
+        behind) surface in the summary instead of failing the apply.
+        """
+        if self._stopped:
+            raise RuntimeError("server fleet is stopped")
+        payload = plan.to_json() if hasattr(plan, "to_json") else dict(plan)
+        for pipe in self._pipes:
+            pipe.send(("control", payload))
+        summaries: list[dict] = []
+        refusals: list[str] = []
+        errors: list[str] = []
+        for index, pipe in enumerate(self._pipes):
+            if not pipe.poll(timeout):
+                errors.append(f"worker {index}: no control reply in {timeout:g}s")
+                continue
+            try:
+                message = pipe.recv()
+            except (EOFError, OSError):
+                errors.append(f"worker {index}: pipe closed during control apply")
+                continue
+            if message[0] == "control_ok":
+                summaries.append(message[1])
+            elif message[0] == "control_refused":
+                refusals.append(f"worker {index}: {message[1]}")
+            else:
+                errors.append(f"worker {index}: {message[1]}")
+        if refusals and not summaries:
+            raise ValueError(refusals[0])
+        return {
+            "version": int(payload["version"]),
+            "node_id": self.config.node_id,
+            "workers": len(summaries),
+            "pinned": sum(s.get("pinned", 0) for s in summaries),
+            "dropped": sum(s.get("dropped", 0) for s in summaries),
+            "max_inflight": (
+                summaries[0].get("max_inflight") if summaries else None
+            ),
+            "refused": refusals,
+            "errors": errors,
+        }
 
     def stop(self) -> None:
         """Fan out graceful drain to every worker, then join — with

@@ -15,7 +15,8 @@ per-request ``bytes`` concatenation. ``/healthz`` is precomputed once and
 ``/metrics`` rendering is cached for ``metrics_ttl`` seconds, so the
 observability endpoints stop doing full-registry JSON dumps per request.
 
-Endpoints (HTTP/1.1, ``GET`` only, keep-alive by default):
+Endpoints (HTTP/1.1, keep-alive by default; ``GET`` everywhere except
+the control plane's ``POST`` routes):
 
 * ``/manifest/<video>`` — :meth:`Manifest.to_json` as JSON;
 * ``/segment/<video>/<window>/<row>/<col>/<quality>`` — raw segment
@@ -24,7 +25,15 @@ Endpoints (HTTP/1.1, ``GET`` only, keep-alive by default):
   in multi-process mode);
 * ``/metrics/local`` — this process's snapshot only, histogram sample
   windows included (what sibling workers fetch to merge);
-* ``/healthz`` — liveness.
+* ``/healthz`` — liveness;
+* ``GET /control`` — the active control-plane state (plan version,
+  admission ceiling, pin budget and occupancy);
+* ``POST /control/plan`` — apply a full versioned
+  :class:`~repro.control.planner.ControlPlan`; ``POST /control/limits``
+  and ``POST /control/prewarm`` apply just the admission or just the
+  pre-warm slice. All three refuse versions older than the active plan
+  with ``409`` — the shard-map rollback-refusal pattern, so a delayed
+  or replayed plan can never roll the node backwards.
 
 Failures map onto the storage error contract, never raw ``OSError``:
 404 :class:`SegmentNotFoundError` / :class:`CatalogError`,
@@ -82,7 +91,8 @@ from repro.serve.hotset import HotSet
 from repro.serve.placement import ShardMap
 from repro.stream.dash import SegmentKey
 
-_MAX_REQUEST_BYTES = 16 * 1024  # request line + headers; GETs carry no body
+_MAX_REQUEST_BYTES = 16 * 1024  # request line + headers
+_MAX_CONTROL_BODY = 4 * 1024 * 1024  # POST /control/* bodies (plans are small)
 
 
 @dataclass(frozen=True)
@@ -305,7 +315,10 @@ class SegmentServer:
         )
         # Admission control state: the loop is single-threaded, so the
         # in-flight count needs no lock — only the gauge mirror is shared.
+        # The ceiling starts at the configured value but is runtime
+        # state, not config: control plans retune it live.
         self._inflight = 0
+        self._max_inflight = self.config.max_inflight
         self._shed = self.metrics.counter(
             "serve.shed", "requests refused by admission control"
         )
@@ -363,6 +376,23 @@ class SegmentServer:
         ).labels()
         if self.shard_map is not None:
             self._gauge_shard_version.set(self.shard_map.version)
+        # Control-plane state: the active plan version (monotonic, same
+        # refusal contract as the shard map) and the per-video demand
+        # counters the controller's forecaster diffs. Cardinality is
+        # bounded by catalog size, and counting in the connection loop
+        # (not _dispatch) means shed and pinned requests register too —
+        # demand is what was *asked for*, not what was admitted.
+        self._control_version = 0
+        self._video_requests = self.metrics.counter(
+            "serve.video_requests", "segment requests per video (demand signal)"
+        )
+        self._video_bound: dict = {}
+        self._gauge_control_version = self.metrics.gauge(
+            "serve.control_plan_version", "version of the active control plan"
+        )
+        self._control_applies = self.metrics.counter(
+            "serve.control_applies", "control plans (or slices) applied"
+        ).labels()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -586,6 +616,141 @@ class SegmentServer:
                 pinned += 1
         return pinned
 
+    # -- control plane ---------------------------------------------------------
+
+    def _check_plan_version(self, version: int) -> None:
+        """The shard map's rollback refusal, applied to control plans:
+        equal re-applies are idempotent, older versions are errors."""
+        if version < self._control_version:
+            raise ValueError(
+                f"control plan v{version} is older than active "
+                f"v{self._control_version}; refusing to roll back"
+            )
+
+    def apply_control_plan(self, plan) -> dict:
+        """Apply one versioned plan slice to this node (loop thread
+        only): admission ceiling, pin budget, and predicted-heat
+        pre-warm. ``plan`` is a ``ControlPlan`` or its JSON dict.
+
+        A plan without a slice for this node updates only the version
+        fence (the node saw the directive and had nothing to do).
+        Pre-warm reads run inline like :meth:`prewarm_pins` — control
+        cadence, not request cadence — and a segment that fails to read
+        (raced a drop, peer-owned) is skipped, not fatal: the plan is a
+        target, not a transaction.
+        """
+        from repro.control.planner import ControlPlan
+
+        if isinstance(plan, dict):
+            plan = ControlPlan.from_json(plan)
+        self._check_plan_version(plan.version)
+        node_plan = plan.node(self.node_id)
+        pinned = dropped = 0
+        if node_plan is not None:
+            self._max_inflight = node_plan.max_inflight
+            # The plan is authoritative over the pin budget: a node that
+            # started cold (budget 0) can be resized into pinning — the
+            # tier-resizing half of the control plane.
+            if node_plan.pin_budget_bytes != self.hot.budget_bytes:
+                before = len(self.hot)
+                self.hot.set_budget(node_plan.pin_budget_bytes)
+                dropped = before - len(self.hot)
+            self.hot.set_base_heat(dict(node_plan.prewarm))
+            for path, heat in node_plan.prewarm:
+                if path in self.hot:
+                    continue
+                segments = [part for part in path.split("/") if part]
+                if len(segments) != 6 or segments[0] != "segment":
+                    continue
+                try:
+                    key = SegmentKey.from_path("/".join(segments[2:]))
+                    data = self.storage.read_segment(
+                        segments[1], key.window, key.tile, key.quality
+                    )
+                except Exception:
+                    continue
+                if self.hot.pin(path, data, heat=heat):
+                    pinned += 1
+        self._control_version = plan.version
+        self._gauge_control_version.set(plan.version)
+        self._control_applies.inc()
+        return {
+            "version": plan.version,
+            "node_id": self.node_id,
+            "max_inflight": self._max_inflight,
+            "pin_budget_bytes": self.hot.budget_bytes,
+            "pinned": pinned,
+            "dropped": dropped,
+        }
+
+    def control_state(self) -> dict:
+        """The live control-plane view ``GET /control`` serves."""
+        return {
+            "version": self._control_version,
+            "node_id": self.node_id,
+            "max_inflight": self._max_inflight,
+            "pin_budget_bytes": self.hot.budget_bytes,
+            "pinned_entries": len(self.hot),
+            "pinned_bytes": self.hot.bytes_pinned,
+            "inflight": self._inflight,
+        }
+
+    def _control(self, parts: list[str], method: str, body: bytes) -> _Response:
+        """Route one ``/control`` request (runs on the loop thread, so
+        every mutation here is serialized with the hit path)."""
+        if not parts:
+            if method != "GET":
+                return _error_response(405, LookupError("use GET /control"))
+            return _json_response(200, self.control_state())
+        if method != "POST" or len(parts) != 1:
+            return _error_response(404, LookupError(f"no control route {parts!r}"))
+        payload = json.loads(body.decode("utf-8"))  # ValueError → 400 upstream
+        try:
+            return self._control_post(parts[0], payload)
+        except (KeyError, TypeError) as error:
+            return _error_response(400, ValueError(f"malformed control payload: {error!r}"))
+
+    def _control_post(self, route: str, payload: dict) -> _Response:
+        if route == "plan":
+            try:
+                return _json_response(200, self.apply_control_plan(payload))
+            except ValueError as error:
+                return _error_response(409, error)
+        if route in ("limits", "prewarm"):
+            try:
+                self._check_plan_version(int(payload["version"]))
+            except ValueError as error:
+                return _error_response(409, error)
+            if route == "limits":
+                ceiling = payload["max_inflight"]
+                self._max_inflight = int(ceiling) if ceiling is not None else None
+            else:
+                prewarm = [
+                    (str(path), int(heat)) for path, heat in payload.get("prewarm", [])
+                ]
+                if "pin_budget_bytes" in payload:
+                    self.hot.set_budget(int(payload["pin_budget_bytes"]))
+                from repro.control.planner import ControlPlan, NodePlan
+
+                partial = ControlPlan(
+                    version=int(payload["version"]),
+                    nodes=(
+                        NodePlan(
+                            node_id=self.node_id,
+                            max_inflight=self._max_inflight,
+                            pin_budget_bytes=self.hot.budget_bytes,
+                            processes=self.config.processes,
+                            prewarm=tuple(prewarm),
+                        ),
+                    ),
+                )
+                return _json_response(200, self.apply_control_plan(partial))
+            self._control_version = int(payload["version"])
+            self._gauge_control_version.set(self._control_version)
+            self._control_applies.inc()
+            return _json_response(200, self.control_state())
+        return _error_response(404, LookupError(f"no control route {route!r}"))
+
     # -- connection handling --------------------------------------------------
 
     async def _handle_connection(
@@ -606,17 +771,29 @@ class SegmentServer:
         drain_wait = asyncio.create_task(self._drain.wait())
         served_on_connection = 0
         hot = self.hot
-        pinnable = hot.enabled
         try:
             while not self._drain.is_set():
                 request = await self._next_request(reader, drain_wait)
                 if request is None:
                     break
-                method, path, keep_alive = request
+                method, path, keep_alive, body = request
                 started = perf_counter()
                 served_on_connection += 1
                 target = path.partition("?")[0]
-                if method != "GET":
+                if method == "GET" and target.startswith("/segment/"):
+                    # The forecaster's demand signal: every segment
+                    # request, counted before admission so shed and
+                    # pinned traffic register as demand too.
+                    video = target.split("/", 3)[2]
+                    demand = self._video_bound.get(video)
+                    if demand is None:
+                        demand = self._video_bound[video] = (
+                            self._video_requests.labels(video=video)
+                        )
+                    demand.inc()
+                if method == "POST" and target.startswith("/control"):
+                    response = await self._dispatch(target, method, body)
+                elif method != "GET":
                     response = _Response(
                         405, b"", content_type="text/plain", error="MethodNotAllowed"
                     )
@@ -630,14 +807,18 @@ class SegmentServer:
                         response = self._shed_response(429, "connection_budget")
                         keep_alive = False
                     else:
-                        pinned = hot.lookup(target) if pinnable else None
+                        # enabled is read per request, not per connection:
+                        # a control plan can resize a zero-budget hot set
+                        # mid-connection, and long-lived connections must
+                        # see the new tier immediately.
+                        pinned = hot.lookup(target) if hot.enabled else None
                         if pinned is not None:
                             # RAM hit: prebuilt buffers, no executor, no
                             # in-flight accounting (nothing to protect).
                             response = pinned
                         elif (
-                            self.config.max_inflight is not None
-                            and self._inflight >= self.config.max_inflight
+                            self._max_inflight is not None
+                            and self._inflight >= self._max_inflight
                         ):
                             # Overloaded: answer immediately instead of
                             # queueing — bounded latency for admitted work.
@@ -726,8 +907,9 @@ class SegmentServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, bool] | None:
-        """Parse one request head; None on clean EOF."""
+    ) -> tuple[str, str, bool, bytes] | None:
+        """Parse one request head (and a Content-Length body, for the
+        control plane's POSTs); None on clean EOF."""
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except asyncio.IncompleteReadError as error:
@@ -742,11 +924,21 @@ class SegmentServer:
             return None
         method, target, version = parts
         keep_alive = version == "HTTP/1.1"
+        length = 0
         for line in lines[1:]:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "connection":
+            name = name.strip().lower()
+            if name == "connection":
                 keep_alive = value.strip().lower() != "close"
-        return method, target, keep_alive
+            elif name == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_CONTROL_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, target, keep_alive, body
 
     # -- request dispatch -----------------------------------------------------
 
@@ -763,11 +955,13 @@ class SegmentServer:
             retry_after=self.config.retry_after,
         )
 
-    async def _dispatch(self, target: str):
+    async def _dispatch(self, target: str, method: str = "GET", body: bytes = b""):
         parts = [part for part in target.split("/") if part]
         try:
             if parts == ["healthz"]:
                 return self._healthz
+            if parts and parts[0] == "control":
+                return self._control(parts[1:], method, body)
             if parts == ["metrics"]:
                 return await self._metrics_response()
             if parts == ["metrics", "local"]:
@@ -991,6 +1185,26 @@ class ServerHandle:
             return self.server.update_shard_map(shard_map, peers)
 
         future = asyncio.run_coroutine_threadsafe(apply(), self._loop)
+        return future.result(timeout=10.0)
+
+    def apply_control_plan(self, plan) -> dict:
+        """Apply a control plan on the server's loop thread — the local
+        actuator's entry point. Raises ``ValueError`` on a stale
+        version, exactly as the wire endpoint answers 409."""
+
+        async def apply() -> dict:
+            return self.server.apply_control_plan(plan)
+
+        future = asyncio.run_coroutine_threadsafe(apply(), self._loop)
+        return future.result(timeout=30.0)
+
+    def control_state(self) -> dict:
+        """The server's live control-plane view, read on its loop."""
+
+        async def read() -> dict:
+            return self.server.control_state()
+
+        future = asyncio.run_coroutine_threadsafe(read(), self._loop)
         return future.result(timeout=10.0)
 
     def stop(self) -> None:

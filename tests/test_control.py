@@ -1,0 +1,628 @@
+"""The predictive control plane: forecaster, planner, controller, wire.
+
+Four layers, tested in the order they compose:
+
+* golden-value tests pin the Holt (EWMA + trend) arithmetic — a changed
+  smoothing constant or update order shows up as an exact-number diff;
+* property tests pin the planner's purity (same inputs, byte-identical
+  plan) and its versioning/rollback contract;
+* controller step tests drive the loop with scripted metrics snapshots —
+  the same injection the chaos harness uses for deterministic replay;
+* wire tests apply plans to a live server through both actuators,
+  including the tier-resizing case: a plan enabling pinning on a server
+  that booted with a zero pin budget.
+
+The e2e flash-crowd test at the bottom is the acceptance story in
+miniature: ramp demand against a cold server and assert the controller
+pins the spiking video's segments while the observed rate is still below
+its peak — pre-warm means *before*, not after.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.control import (
+    ClusterConfig,
+    ControlConfig,
+    ControlPlan,
+    Controller,
+    EwmaTrendForecaster,
+    Forecast,
+    HandleActuator,
+    HttpActuator,
+    NodePlan,
+    NodeState,
+    Planner,
+    StalePlanError,
+    catalog_from_storage,
+    diff_plans,
+    make_forecaster,
+)
+from repro.obs import MetricsRegistry
+from repro.serve import HttpSegmentClient, ServerConfig, start_server
+
+
+class TestForecasterGolden:
+    """Exact Holt arithmetic: alpha=0.4, beta=0.3, horizon=2, worked by
+    hand. A refactor that changes update order breaks these precisely."""
+
+    def test_first_observation_seeds_the_level(self):
+        f = EwmaTrendForecaster(alpha=0.4, beta=0.3, horizon=2.0)
+        forecast = f.observe("v", 10.0)
+        assert forecast.level == 10.0
+        assert forecast.trend == 0.0
+        assert forecast.predicted == 10.0
+        assert forecast.observations == 1
+
+    def test_two_step_golden_values(self):
+        f = EwmaTrendForecaster(alpha=0.4, beta=0.3, horizon=2.0)
+        f.observe("v", 10.0)
+        forecast = f.observe("v", 20.0)
+        # level = 0.4*20 + 0.6*(10 + 0) = 14
+        # trend = 0.3*(14 - 10) + 0.7*0 = 1.2
+        assert forecast.level == pytest.approx(14.0)
+        assert forecast.trend == pytest.approx(1.2)
+        assert forecast.predicted == pytest.approx(14.0 + 2.0 * 1.2)
+
+    def test_three_step_golden_values(self):
+        f = EwmaTrendForecaster(alpha=0.4, beta=0.3, horizon=2.0)
+        f.observe("v", 10.0)
+        f.observe("v", 20.0)
+        forecast = f.observe("v", 40.0)
+        # level = 0.4*40 + 0.6*(14 + 1.2)   = 25.12
+        # trend = 0.3*(25.12 - 14) + 0.7*1.2 = 4.176
+        assert forecast.level == pytest.approx(25.12)
+        assert forecast.trend == pytest.approx(4.176)
+        assert forecast.predicted == pytest.approx(25.12 + 2.0 * 4.176)
+
+    def test_ramp_predicts_ahead_of_observation(self):
+        """The flash-crowd property: during a ramp the prediction runs
+        ahead of the latest observed value — that gap is what buys the
+        planner its pre-warm lead time."""
+        f = EwmaTrendForecaster(alpha=0.4, beta=0.3, horizon=2.0)
+        for value in (10.0, 20.0, 30.0, 40.0, 50.0):
+            forecast = f.observe("v", value)
+        assert forecast.trend > 0
+        assert forecast.predicted > 50.0
+
+    def test_prediction_floors_at_zero(self):
+        f = EwmaTrendForecaster(alpha=0.4, beta=0.3, horizon=2.0)
+        for value in (10.0, 0.0, 0.0):
+            forecast = f.observe("v", value)
+        # level 2.88, trend -1.776: raw prediction is negative.
+        assert forecast.level + 2.0 * forecast.trend < 0
+        assert forecast.predicted == 0.0
+
+    def test_unobserved_key_is_zero(self):
+        f = EwmaTrendForecaster()
+        forecast = f.forecast("never-seen")
+        assert forecast == Forecast(
+            key="never-seen", level=0.0, trend=0.0, predicted=0.0, observations=0
+        )
+
+    def test_forecasts_are_key_sorted(self):
+        f = EwmaTrendForecaster()
+        for key in ("zeta", "alpha", "mid"):
+            f.observe(key, 1.0)
+        assert list(f.forecasts()) == ["alpha", "mid", "zeta"]
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"alpha": 0.0}, {"alpha": 1.5}, {"beta": 0.0}, {"horizon": -1.0}]
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EwmaTrendForecaster(**kwargs)
+
+    def test_unknown_forecaster_kind(self):
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            make_forecaster("oracle", 0.4, 0.3, 2.0)
+
+
+def _forecast(key: str, predicted: float) -> Forecast:
+    return Forecast(
+        key=key, level=predicted, trend=0.0, predicted=predicted, observations=3
+    )
+
+
+CATALOG = {
+    "vid-0": (
+        ("/segment/vid-0/0/0/0/high", 1.0, 100),
+        ("/segment/vid-0/0/0/1/high", 0.5, 100),
+        ("/segment/vid-0/0/0/0/low", 0.25, 50),
+    ),
+    "vid-1": (("/segment/vid-1/0/0/0/high", 1.0, 100),),
+}
+
+
+class TestPlanner:
+    def test_prewarm_ranks_hottest_first_and_fills_the_budget(self):
+        planner = Planner(prewarm_threshold=1.0)
+        plan = planner.plan(
+            {"vid-0": _forecast("vid-0", 10.0), "vid-1": _forecast("vid-1", 2.0)},
+            CATALOG,
+            (NodeState(node_id="", pin_budget_bytes=250),),
+        )
+        node = plan.node("")
+        paths = [path for path, _ in node.prewarm]
+        # Heats: vid-0 high 1000, half-weight 500, low 250; vid-1 200.
+        # The 250-byte budget takes the two 100-byte segments, then the
+        # 50-byte low rung exactly fills it; vid-1's never fits.
+        assert paths == [
+            "/segment/vid-0/0/0/0/high",
+            "/segment/vid-0/0/0/1/high",
+            "/segment/vid-0/0/0/0/low",
+        ]
+        heats = [heat for _, heat in node.prewarm]
+        assert heats == sorted(heats, reverse=True)
+
+    def test_below_threshold_videos_are_not_warmed(self):
+        planner = Planner(prewarm_threshold=5.0)
+        plan = planner.plan(
+            {"vid-0": _forecast("vid-0", 10.0), "vid-1": _forecast("vid-1", 2.0)},
+            CATALOG,
+            (NodeState(node_id="", pin_budget_bytes=10_000),),
+        )
+        assert all(
+            path.startswith("/segment/vid-0/") for path, _ in plan.node("").prewarm
+        )
+
+    def test_zero_budget_node_gets_no_prewarm(self):
+        plan = Planner().plan(
+            {"vid-0": _forecast("vid-0", 10.0)},
+            CATALOG,
+            (NodeState(node_id="", pin_budget_bytes=0),),
+        )
+        assert plan.node("").prewarm == ()
+
+    def test_owned_paths_restrict_prewarm(self):
+        owned = ("/segment/vid-0/0/0/1/high",)
+        plan = Planner().plan(
+            {"vid-0": _forecast("vid-0", 10.0)},
+            CATALOG,
+            (NodeState(node_id="node-0", pin_budget_bytes=10_000, owned=owned),),
+        )
+        assert [path for path, _ in plan.node("node-0").prewarm] == list(owned)
+
+    def test_nan_p99_holds_admission(self):
+        state = NodeState(node_id="", max_inflight=32)
+        plan = Planner().plan({}, {}, (state,), observed_p99=math.nan)
+        assert plan.node("").max_inflight == 32
+
+    def test_breach_halves_inflight_with_floor(self):
+        planner = Planner(slo_p99=0.25, min_inflight=4, decrease_factor=0.5)
+        state = NodeState(node_id="", max_inflight=32)
+        plan = planner.plan({}, {}, (state,), observed_p99=0.5)
+        assert plan.node("").max_inflight == 16
+        plan = planner.plan(
+            {}, {}, (NodeState(node_id="", max_inflight=5),), observed_p99=0.5
+        )
+        assert plan.node("").max_inflight == 4  # floored, not 2
+
+    def test_breach_on_unbounded_node_imposes_the_fallback(self):
+        planner = Planner(fallback_inflight=64)
+        plan = planner.plan(
+            {}, {}, (NodeState(node_id="", max_inflight=None),), observed_p99=1.0
+        )
+        assert plan.node("").max_inflight == 64
+
+    def test_headroom_raises_additively_to_the_ceiling(self):
+        planner = Planner(
+            slo_p99=0.25, slo_headroom=0.5, increase_step=4, inflight_ceiling=40
+        )
+        state = NodeState(node_id="", max_inflight=38)
+        plan = planner.plan({}, {}, (state,), observed_p99=0.01)
+        assert plan.node("").max_inflight == 40  # 38 + 4 capped at 40
+
+    def test_inside_slo_without_headroom_holds(self):
+        planner = Planner(slo_p99=0.25, slo_headroom=0.5)
+        state = NodeState(node_id="", max_inflight=16)
+        plan = planner.plan({}, {}, (state,), observed_p99=0.2)
+        assert plan.node("").max_inflight == 16
+
+    def test_process_recommendation_scales_with_demand(self):
+        planner = Planner(requests_per_process=100.0, max_processes=8)
+        plan = planner.plan(
+            {"vid-0": _forecast("vid-0", 350.0)},
+            CATALOG,
+            (NodeState(node_id="", processes=1),),
+        )
+        assert plan.node("").processes == 4  # ceil(350/100)
+        plan = planner.plan(
+            {"vid-0": _forecast("vid-0", 5000.0)},
+            CATALOG,
+            (NodeState(node_id="", processes=1),),
+        )
+        assert plan.node("").processes == 8  # capped
+
+    def test_versions_are_monotonic(self):
+        planner = Planner()
+        first = planner.plan({}, {}, (NodeState(node_id=""),))
+        second = planner.plan({}, {}, (NodeState(node_id=""),), previous=first)
+        assert (first.version, second.version) == (1, 2)
+
+    def test_diff_plans_ignores_version_only_changes(self):
+        planner = Planner()
+        first = planner.plan({}, {}, (NodeState(node_id=""),))
+        second = planner.plan({}, {}, (NodeState(node_id=""),), previous=first)
+        assert diff_plans(None, first)
+        assert not diff_plans(first, second)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError, match="version"):
+            ControlPlan(version=-1)
+        node = NodePlan(
+            node_id="a", max_inflight=None, pin_budget_bytes=0, processes=1
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            ControlPlan(version=1, nodes=(node, node))
+
+    def test_single_anonymous_node_plan_matches_any_node(self):
+        node = NodePlan(
+            node_id="", max_inflight=8, pin_budget_bytes=0, processes=1
+        )
+        plan = ControlPlan(version=1, nodes=(node,))
+        assert plan.node("node-3") is node
+        sharded = ControlPlan(
+            version=1,
+            nodes=(
+                NodePlan(
+                    node_id="node-0", max_inflight=8, pin_budget_bytes=0, processes=1
+                ),
+            ),
+        )
+        assert sharded.node("node-1") is None
+
+    def test_json_round_trip_is_exact(self):
+        plan = Planner().plan(
+            {"vid-0": _forecast("vid-0", 10.0)},
+            CATALOG,
+            (NodeState(node_id="node-0", pin_budget_bytes=250, max_inflight=16),),
+        )
+        assert ControlPlan.from_json(plan.to_json()) == plan
+        assert (
+            ControlPlan.from_json(plan.to_json()).canonical() == plan.canonical()
+        )
+
+
+# Bounded strategies: the purity property needs variety, not magnitude.
+_names = st.sampled_from(["vid-0", "vid-1", "vid-2"])
+_forecasts = st.dictionaries(
+    _names,
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    max_size=3,
+).map(lambda d: {k: _forecast(k, v) for k, v in d.items()})
+_catalogs = st.dictionaries(
+    _names,
+    st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.integers(1, 500),
+        ),
+        max_size=4,
+        # Real catalogs (catalog_from_storage) never repeat a path, and a
+        # duplicate would make the test's path->size accounting ambiguous.
+        unique_by=lambda t: t[0],
+    ),
+    max_size=3,
+).map(
+    lambda d: {
+        video: tuple(
+            (f"/segment/{video}/{segment}", weight, size)
+            for segment, weight, size in segments
+        )
+        for video, segments in d.items()
+    }
+)
+_nodes = st.lists(
+    st.tuples(
+        st.sampled_from(["node-0", "node-1", "node-2"]),
+        st.integers(0, 1000),
+        st.one_of(st.none(), st.integers(1, 128)),
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda t: t[0],
+).map(
+    lambda items: tuple(
+        NodeState(node_id=node_id, pin_budget_bytes=budget, max_inflight=inflight)
+        for node_id, budget, inflight in items
+    )
+)
+_p99s = st.one_of(
+    st.just(math.nan), st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+)
+
+
+class TestPlannerPurity:
+    @given(forecasts=_forecasts, catalog=_catalogs, nodes=_nodes, p99=_p99s)
+    def test_same_inputs_same_plan(self, forecasts, catalog, nodes, p99):
+        """plan() is a pure function: two calls with identical inputs
+        produce equal plans with identical canonical bytes — the
+        property the chaos replay's determinism stands on."""
+        planner = Planner()
+        first = planner.plan(forecasts, catalog, nodes, observed_p99=p99)
+        second = planner.plan(forecasts, catalog, nodes, observed_p99=p99)
+        assert first == second
+        assert first.canonical() == second.canonical()
+
+    @given(forecasts=_forecasts, catalog=_catalogs, nodes=_nodes, p99=_p99s)
+    def test_plan_respects_budgets_and_floors(self, forecasts, catalog, nodes, p99):
+        planner = Planner()
+        plan = planner.plan(forecasts, catalog, nodes, observed_p99=p99)
+        sizes = {
+            path: size
+            for segments in catalog.values()
+            for path, _, size in segments
+        }
+        for state in nodes:
+            node = plan.node(state.node_id)
+            assert node is not None
+            assert sum(sizes[p] for p, _ in node.prewarm) <= state.pin_budget_bytes
+            # The floor binds when the planner *decreases* (an SLO
+            # breach); held or raised positions keep their configured
+            # value even below it.
+            if not math.isnan(p99) and p99 > planner.slo_p99:
+                assert node.max_inflight is not None
+                assert node.max_inflight >= planner.min_inflight
+
+
+class TestControlConfig:
+    def test_bad_forecaster_parameters_fail_at_construction(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ControlConfig(alpha=0.0)
+        with pytest.raises(ValueError, match="interval"):
+            ControlConfig(interval=0.0)
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            ControlConfig(forecaster="oracle")
+
+    def test_planner_inherits_the_knobs(self):
+        config = ControlConfig(slo_p99=0.1, min_inflight=2, prewarm_threshold=3.0)
+        planner = config.planner()
+        assert planner.slo_p99 == 0.1
+        assert planner.min_inflight == 2
+        assert planner.prewarm_threshold == 3.0
+
+    def test_cluster_config_composes_server_and_control(self):
+        cluster = ClusterConfig(
+            server=ServerConfig(max_inflight=8),
+            control=ControlConfig(enabled=True),
+        )
+        assert cluster.server.max_inflight == 8
+        assert cluster.control.enabled
+        assert cluster.transport == "sim"
+
+
+def _snapshot(counters: dict) -> dict:
+    return {"counters": dict(counters), "gauges": {}, "histograms": {}, "spans": {}}
+
+
+def _scripted_controller(snapshots, catalog, nodes, actuators=()):
+    """A controller fed a finite script of metrics snapshots — the unit
+    equivalent of the chaos harness's injected sources."""
+    feed = iter(snapshots)
+    return Controller(
+        ControlConfig(enabled=True, deterministic=True, prewarm_threshold=1.0),
+        metrics_source=lambda: next(feed),
+        catalog_source=lambda: catalog,
+        nodes_source=lambda: nodes,
+        actuators=actuators,
+        clock=iter(range(10_000)).__next__,
+    )
+
+
+DEMAND = "serve.video_requests{video=vid-0}"
+
+
+class TestControllerStep:
+    def test_first_plan_applies_then_steady_state_noops(self):
+        applied = []
+
+        class Recorder:
+            def apply(self, plan):
+                applied.append(plan)
+                return {}
+
+        # Constant demand: level locks to the value, trend stays zero,
+        # so the second and third plans are version-only — no-ops.
+        snapshots = [_snapshot({DEMAND: total}) for total in (5, 10, 15)]
+        controller = _scripted_controller(
+            snapshots,
+            CATALOG,
+            (NodeState(node_id="", pin_budget_bytes=10_000),),
+            actuators=(Recorder(),),
+        )
+        assert controller.step() is not None
+        assert controller.step() is None
+        assert controller.step() is None
+        assert len(applied) == 1
+        assert applied[0].version == 1
+        assert applied[0].node("").prewarm
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["counters"]["control.steps"] == 3
+        assert snapshot["counters"]["control.plans_applied"] == 1
+        assert snapshot["counters"]["control.plans_noop"] == 2
+
+    def test_rising_demand_reissues_the_plan(self):
+        # Accelerating demand keeps the trend moving, so heats change
+        # and each step issues a new version.
+        snapshots = [_snapshot({DEMAND: total}) for total in (1, 3, 9)]
+        controller = _scripted_controller(
+            snapshots, CATALOG, (NodeState(node_id="", pin_budget_bytes=10_000),)
+        )
+        plans = [controller.step() for _ in range(3)]
+        versions = [plan.version for plan in plans if plan is not None]
+        assert versions == sorted(versions)
+        assert controller.plan.version == versions[-1]
+
+    def test_actuator_failure_is_counted_not_fatal(self):
+        class Exploding:
+            def apply(self, plan):
+                raise StalePlanError("a newer controller is in charge")
+
+        controller = _scripted_controller(
+            [_snapshot({DEMAND: 5})],
+            CATALOG,
+            (NodeState(node_id="", pin_budget_bytes=10_000),),
+            actuators=(Exploding(),),
+        )
+        plan = controller.step()
+        assert plan is not None  # the loop records the plan regardless
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["counters"]["control.actuate_errors"] == 1
+
+    def test_identical_scripts_produce_identical_plan_bytes(self):
+        """The deterministic-mode contract, end to end at unit scale."""
+        script = [(2, 0), (7, 1), (20, 4), (60, 9)]
+
+        def run():
+            snapshots = [
+                _snapshot(
+                    {
+                        DEMAND: spike,
+                        "serve.video_requests{video=vid-1}": other,
+                    }
+                )
+                for spike, other in script
+            ]
+            controller = _scripted_controller(
+                snapshots, CATALOG, (NodeState(node_id="", pin_budget_bytes=300),)
+            )
+            trail = []
+            for _ in script:
+                plan = controller.step()
+                trail.append("noop" if plan is None else plan.canonical())
+            return trail
+
+        assert run() == run()
+
+
+class TestWireActuation:
+    """Plans over the wire: rollback refusal, idempotence, and the
+    tier-resize (a cold server enabled by its first plan)."""
+
+    def _plan(self, version, *, prewarm=(), budget=0, inflight=None):
+        return ControlPlan(
+            version=version,
+            nodes=(
+                NodePlan(
+                    node_id="",
+                    max_inflight=inflight,
+                    pin_budget_bytes=budget,
+                    processes=1,
+                    prewarm=tuple(prewarm),
+                ),
+            ),
+        )
+
+    def test_plan_resizes_a_cold_server_into_pinning(self, session_db):
+        # pin_budget_bytes=0 at boot: the hot set is disabled until the
+        # control plane grants a budget — tier resizing, not a restart.
+        handle = start_server(
+            session_db.storage, ServerConfig(drain_timeout=2.0), registry=MetricsRegistry()
+        )
+        try:
+            assert not handle.server.hot.enabled
+            manifest = session_db.storage.build_manifest("clip")
+            paths = sorted(
+                f"/segment/clip/{key.to_path()}" for key in manifest.segment_sizes
+            )
+            plan = self._plan(
+                1,
+                prewarm=[(path, 10) for path in paths],
+                budget=1 << 20,
+                inflight=16,
+            )
+            result = HandleActuator(handle).apply(plan)
+            assert result["pinned"] == len(paths)
+            state = handle.control_state()
+            assert state["version"] == 1
+            assert state["pin_budget_bytes"] == 1 << 20
+            assert state["pinned_entries"] == len(paths)
+            assert state["max_inflight"] == 16
+        finally:
+            handle.stop()
+
+    def test_stale_plan_is_refused_locally_and_over_http(self, session_db):
+        handle = start_server(
+            session_db.storage, ServerConfig(drain_timeout=2.0), registry=MetricsRegistry()
+        )
+        try:
+            actuator = HttpActuator(handle.base_url)
+            actuator.apply(self._plan(3, inflight=8))
+            # Equal version: idempotent re-application, not an error.
+            assert actuator.apply(self._plan(3, inflight=8))["version"] == 3
+            with pytest.raises(StalePlanError):
+                actuator.apply(self._plan(2, inflight=8))
+            with pytest.raises(StalePlanError):
+                HandleActuator(handle).apply(self._plan(1, inflight=8))
+            assert handle.control_state()["version"] == 3
+        finally:
+            handle.stop()
+
+    def test_control_state_over_the_wire(self, session_db):
+        handle = start_server(
+            session_db.storage, ServerConfig(drain_timeout=2.0), registry=MetricsRegistry()
+        )
+        try:
+            HttpActuator(handle.base_url).apply(self._plan(1, inflight=12))
+            with HttpSegmentClient(handle.base_url) as client:
+                state = client.fetch_control()
+            assert state["version"] == 1
+            assert state["max_inflight"] == 12
+        finally:
+            handle.stop()
+
+
+class TestFlashCrowdEndToEnd:
+    def test_controller_pins_the_spiking_video_before_the_peak(self, session_db):
+        """The acceptance story in miniature: ramp real requests at a
+        cold server and the controller must pin the spiking video's
+        segments while the observed rate is still below its peak."""
+        registry = MetricsRegistry()
+        handle = start_server(
+            session_db.storage, ServerConfig(drain_timeout=2.0), registry=registry
+        )
+        controller = Controller(
+            ControlConfig(
+                enabled=True,
+                deterministic=True,
+                prewarm_threshold=3.5,
+                horizon=3.0,
+            ),
+            metrics_source=registry.snapshot,
+            catalog_source=lambda: catalog_from_storage(session_db.storage),
+            nodes_source=lambda: (NodeState(node_id="", pin_budget_bytes=1 << 20),),
+            actuators=(HandleActuator(handle),),
+            clock=iter(range(10_000)).__next__,
+        )
+        ramp, peak = (1, 2, 4), 8
+        try:
+            manifest = session_db.storage.build_manifest("clip")
+            key = min(manifest.segment_sizes, key=lambda k: k.to_path())
+            with HttpSegmentClient(handle.base_url) as client:
+                for rate in ramp:
+                    for _ in range(rate):
+                        client.fetch_segment("clip", key)
+                    controller.step()
+                # The pins must exist NOW — before any peak-rate request
+                # has been issued. Predicted demand (level + trend
+                # lookahead) crossed the threshold while observed demand
+                # was still at ramp levels below the peak.
+                assert max(ramp) < peak
+                pinned = handle.server.hot.paths()
+                assert pinned, "controller never pinned during the ramp"
+                assert all(path.startswith("/segment/clip/") for path in pinned)
+                assert controller.plan is not None
+                # The peak itself is then served from RAM.
+                hits_before = registry.counter("serve.pin_hits").total()
+                for _ in range(peak):
+                    client.fetch_segment("clip", key)
+                assert registry.counter("serve.pin_hits").total() >= hits_before + peak
+        finally:
+            handle.stop()

@@ -78,7 +78,7 @@ class TestSharedLink:
             predictor="static",
             margin=0,
         )
-        private_report = shared_db.serve(name, trace, private_config)
+        private_report = shared_db.serve(name, (trace, private_config))
         assert shared_report.total_bytes == private_report.total_bytes
         assert [r.quality_map for r in shared_report.records] == [
             r.quality_map for r in private_report.records
@@ -342,7 +342,11 @@ class TestServeAllMetrics:
             )
             for user in range(3)
         ]
-        db.serve_all(sessions, SimulatedLink(ConstantBandwidth(50_000.0)))
+        db.serve(
+            "clip",
+            [(trace, config) for _, trace, config in sessions],
+            link=SimulatedLink(ConstantBandwidth(50_000.0)),
+        )
 
         assert db.metrics.counter("stream.windows").total() > 0
         assert db.metrics.counter("stream.bytes_sent").total() > 0

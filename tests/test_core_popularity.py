@@ -139,12 +139,14 @@ class TestPartialStorageEndToEnd:
         trace = equatorial_trace(duration=2.0)
         report = partial_db.serve(
             "clip",
-            trace,
-            SessionConfig(
-                policy=PredictiveTilingPolicy(),
-                bandwidth=ConstantBandwidth(1e6),
-                predictor="static",
-                margin=0,
+            (
+                trace,
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(1e6),
+                    predictor="static",
+                    margin=0,
+                ),
             ),
         )
         assert len(report.records) == 2
@@ -158,8 +160,12 @@ class TestPartialStorageEndToEnd:
         trace = equatorial_trace(duration=2.0)
         report = partial_db.serve(
             "clip",
-            trace,
-            SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)),
+            (
+                trace,
+                SessionConfig(
+                    policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+                ),
+            ),
         )
         record = report.records[0]
         assert record.quality_map[(0, 0)] is Quality.HIGH

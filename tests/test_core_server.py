@@ -65,8 +65,12 @@ class TestServeFacade:
         trace = HeadMovementModel().generate(3.0, rate=10.0, seed=2)
         report = db.serve(
             "clip",
-            trace,
-            SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)),
+            (
+                trace,
+                SessionConfig(
+                    policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+                ),
+            ),
         )
         assert len(report.records) == 3
 
@@ -77,11 +81,13 @@ class TestServeFacade:
         trace = HeadMovementModel().generate(3.0, rate=10.0, seed=5)
         report = db.serve(
             "clip",
-            trace,
-            SessionConfig(
-                policy=PredictiveTilingPolicy(),
-                bandwidth=ConstantBandwidth(1e6),
-                predictor="markov",
+            (
+                trace,
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(1e6),
+                    predictor="markov",
+                ),
             ),
         )
         assert len(report.records) == 3
@@ -93,8 +99,12 @@ class TestStatsFacade:
         trace = HeadMovementModel().generate(3.0, rate=10.0, seed=2)
         db.serve(
             "clip",
-            trace,
-            SessionConfig(policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)),
+            (
+                trace,
+                SessionConfig(
+                    policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+                ),
+            ),
         )
         snapshot = db.stats()
         assert "clip" in snapshot["videos"]

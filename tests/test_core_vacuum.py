@@ -126,11 +126,13 @@ class TestRtt:
         trace = ViewerPopulation(seed=2).trace(0, duration=3.0, rate=10.0)
         report = session_db.serve(
             "clip",
-            trace,
-            SessionConfig(
-                policy=NaiveFullQuality(),
-                bandwidth=ConstantBandwidth(1e6),
-                rtt=0.05,
+            (
+                trace,
+                SessionConfig(
+                    policy=NaiveFullQuality(),
+                    bandwidth=ConstantBandwidth(1e6),
+                    rtt=0.05,
+                ),
             ),
         )
         assert len(report.records) == 3

@@ -132,7 +132,7 @@ class TestDamagedSegments:
         config = SessionConfig(
             policy=UniformAdaptive(), bandwidth=ConstantBandwidth(50_000.0)
         )
-        report = loaded.serve("clip", trace, config)
+        report = loaded.serve("clip", (trace, config))
         assert len(report.records) == loaded.meta("clip").gop_count
 
     def test_corrupted_segment_reads_are_controlled(self, loaded):

@@ -69,24 +69,28 @@ class TestFullDeliveryFlow:
         ) / manifest.duration
         naive = demo_db.serve(
             "demo",
-            viewer,
-            SessionConfig(
-                policy=NaiveFullQuality(),
-                bandwidth=ConstantBandwidth(rate),
-                evaluate_quality=True,
+            (
+                viewer,
+                SessionConfig(
+                    policy=NaiveFullQuality(),
+                    bandwidth=ConstantBandwidth(rate),
+                    evaluate_quality=True,
+                ),
             ),
         )
         predictive = demo_db.serve(
             "demo",
-            viewer,
-            SessionConfig(
-                policy=PredictiveTilingPolicy(),
-                bandwidth=ConstantBandwidth(rate),
-                predictor="static",
-                # On this coarse 2x4 grid a margin ring covers the whole
-                # sphere; the viewport footprint alone is the hedge.
-                margin=0,
-                evaluate_quality=True,
+            (
+                viewer,
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(rate),
+                    predictor="static",
+                    # On this coarse 2x4 grid a margin ring covers the whole
+                    # sphere; the viewport footprint alone is the hedge.
+                    margin=0,
+                    evaluate_quality=True,
+                ),
             ),
         )
         assert predictive.bytes_saved_vs(naive) > 0.15
@@ -100,12 +104,14 @@ class TestFullDeliveryFlow:
             for predictor in predictors:
                 report = demo_db.serve(
                     "demo",
-                    viewer,
-                    SessionConfig(
-                        policy=policy,
-                        bandwidth=ConstantBandwidth(30_000),
-                        predictor=predictor,
-                        estimator=HarmonicMeanEstimator(),
+                    (
+                        viewer,
+                        SessionConfig(
+                            policy=policy,
+                            bandwidth=ConstantBandwidth(30_000),
+                            predictor=predictor,
+                            estimator=HarmonicMeanEstimator(),
+                        ),
                     ),
                 )
                 assert len(report.records) == 4
@@ -116,11 +122,13 @@ class TestFullDeliveryFlow:
         manifest = demo_db.storage.build_manifest("demo")
         report = demo_db.serve(
             "demo",
-            viewer,
-            SessionConfig(
-                policy=PredictiveTilingPolicy(),
-                bandwidth=ConstantBandwidth(30_000),
-                predictor="static",
+            (
+                viewer,
+                SessionConfig(
+                    policy=PredictiveTilingPolicy(),
+                    bandwidth=ConstantBandwidth(30_000),
+                    predictor="static",
+                ),
             ),
         )
         for record in report.records[:2]:
@@ -145,9 +153,11 @@ class TestQueryOverServedVideo:
         manifest = demo_db.storage.build_manifest("requant")
         report = demo_db.serve(
             "requant",
-            trace,
-            SessionConfig(
-                policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+            (
+                trace,
+                SessionConfig(
+                    policy=NaiveFullQuality(), bandwidth=ConstantBandwidth(1e6)
+                ),
             ),
         )
         assert len(report.records) == manifest.window_count
@@ -173,11 +183,13 @@ class TestConcurrentViewStability:
         def run_target():
             return demo_db.serve(
                 "demo",
-                target_trace,
-                SessionConfig(
-                    policy=PredictiveTilingPolicy(),
-                    bandwidth=ConstantBandwidth(25_000),
-                    predictor="static",
+                (
+                    target_trace,
+                    SessionConfig(
+                        policy=PredictiveTilingPolicy(),
+                        bandwidth=ConstantBandwidth(25_000),
+                        predictor="static",
+                    ),
                 ),
             )
 
@@ -185,9 +197,11 @@ class TestConcurrentViewStability:
         for user in range(1, 4):
             demo_db.serve(
                 "demo",
-                population.trace(user, DURATION, rate=10.0),
-                SessionConfig(
-                    policy=UniformAdaptive(), bandwidth=ConstantBandwidth(9_000)
+                (
+                    population.trace(user, DURATION, rate=10.0),
+                    SessionConfig(
+                        policy=UniformAdaptive(), bandwidth=ConstantBandwidth(9_000)
+                    ),
                 ),
             )
         after = run_target()

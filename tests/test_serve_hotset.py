@@ -99,6 +99,73 @@ class TestEviction:
         assert hot.bytes_pinned <= 100
 
 
+class TestHeat:
+    """``heat()`` is the one ordering shared by eviction, the control
+    plane's pre-warm ranking, and promotion — these tests pin its
+    composition rules so the planner and the evictor can't disagree."""
+
+    def test_heat_is_base_plus_observed(self):
+        hot = make_hotset(1024)
+        assert hot.heat("/a") == 0
+        hot.set_base_heat({"/a": 10})
+        assert hot.heat("/a") == 10
+        hot.pin("/a", b"x" * 10)
+        hot.lookup("/a")
+        hot.lookup("/a")
+        assert hot.heat("/a") == 12  # base 10 + 2 pinned hits
+
+    def test_candidate_counts_feed_heat(self):
+        hot = make_hotset(1024, threshold=5)
+        hot.record("/b", b"x")
+        hot.record("/b", b"x")
+        assert hot.heat("/b") == 2  # not pinned yet: cold-path count
+
+    def test_set_base_heat_replaces_not_merges(self):
+        hot = make_hotset(1024)
+        hot.set_base_heat({"/old": 7})
+        hot.set_base_heat({"/new": 3})
+        assert hot.heat("/old") == 0
+        assert hot.heat("/new") == 3
+
+    def test_base_heat_accelerates_promotion(self):
+        hot = make_hotset(1024, threshold=3)
+        hot.set_base_heat({"/predicted": 2})
+        # One observed hit + base heat 2 crosses threshold 3.
+        assert hot.record("/predicted", b"x" * 4)
+        assert "/predicted" in hot
+
+    def test_base_heat_protects_against_eviction(self):
+        hot = make_hotset(20)
+        hot.pin("/protected", b"x" * 20)
+        hot.set_base_heat({"/protected": 100})
+        assert not hot.pin("/challenger", b"y" * 20, heat=50)
+        assert "/protected" in hot
+
+    def test_set_budget_shrink_evicts_coldest_first(self):
+        hot = make_hotset(30)
+        hot.pin("/a", b"x" * 10)
+        hot.pin("/b", b"y" * 10)
+        hot.pin("/c", b"z" * 10)
+        hot.lookup("/b")
+        hot.lookup("/c")
+        hot.set_budget(20)
+        assert "/a" not in hot  # zero heat: the first victim
+        assert {"/b", "/c"} <= set(hot.paths())
+        assert hot.bytes_pinned == 20
+
+    def test_set_budget_grow_enables_a_cold_set(self):
+        hot = make_hotset(0)
+        assert not hot.enabled
+        hot.set_budget(1024)
+        assert hot.enabled
+        assert hot.pin("/a", b"x" * 10)
+
+    def test_negative_budget_rejected(self):
+        hot = make_hotset(10)
+        with pytest.raises(ValueError, match=">= 0"):
+            hot.set_budget(-1)
+
+
 class TestInvalidation:
     def test_unpin_prefix_drops_entries_and_candidates(self):
         hot = make_hotset(1024, threshold=5)

@@ -1,11 +1,12 @@
 """The unified ``VisualCloud.serve`` entry point.
 
-One method now covers the whole delivery matrix — single simulated
-session, shared-link contention, and real HTTP transport — with the
-pre-unification call shapes surviving as warning shims. These tests pin
-three things: the shims warn but behave identically, dispatch errors
-fire before any work happens, and a no-fault wire session is
-QoE-indistinguishable from its simulated twin.
+One method covers the whole delivery matrix — single simulated session,
+shared-link contention, and real HTTP transport — and the delivery tier
+is described by one :class:`repro.control.ClusterConfig`. These tests
+pin four things: the removed PR 4-era shapes fail loudly, the
+``transport=``/``base_url=`` kwargs still work for one release behind a
+DeprecationWarning, dispatch errors fire before any work happens, and a
+no-fault wire session is QoE-indistinguishable from its simulated twin.
 """
 
 import json
@@ -13,6 +14,7 @@ import json
 import pytest
 
 from repro import SessionConfig
+from repro.control import ClusterConfig
 from repro.serve import start_server
 from repro.stream.abr import PredictiveTilingPolicy, UniformAdaptive
 from repro.stream.network import ConstantBandwidth, SimulatedLink
@@ -40,33 +42,48 @@ def _summary_key(report):
     return json.dumps(report.summary(), sort_keys=True)
 
 
-class TestDeprecatedShims:
-    def test_legacy_serve_warns_and_matches_new_form(self, session_db):
-        trace, config = _trace(session_db), _config()
-        with pytest.warns(DeprecationWarning, match="serve\\(name, \\(trace, config\\)\\)"):
-            legacy = session_db.serve("clip", trace, config)
-        modern = session_db.serve("clip", (trace, config))
-        assert _summary_key(legacy) == _summary_key(modern)
+class TestRemovedShims:
+    def test_legacy_serve_trace_config_raises(self, session_db):
+        # The config slot is keyword-only territory now, so the old
+        # 3-positional shape dies at the signature.
+        with pytest.raises(TypeError, match="positional"):
+            session_db.serve("clip", _trace(session_db), _config())
 
-    def test_legacy_serve_requires_config(self, session_db):
-        with pytest.raises(TypeError, match="requires a config"):
+    def test_legacy_serve_bare_trace_raises(self, session_db):
+        with pytest.raises(TypeError, match="was removed"):
             session_db.serve("clip", _trace(session_db))
 
-    def test_serve_all_warns_and_matches_link_form(self, session_db):
-        sessions = [(_trace(session_db, user), _config()) for user in range(3)]
-        link_rate = 120_000
-        with pytest.warns(DeprecationWarning, match="serve_all is deprecated"):
-            legacy = session_db.serve_all(
-                [("clip", trace, config) for trace, config in sessions],
-                SimulatedLink(ConstantBandwidth(link_rate)),
-            )
-        modern = session_db.serve(
-            "clip", sessions, link=SimulatedLink(ConstantBandwidth(link_rate))
-        )
-        assert [_summary_key(r) for r in legacy] == [_summary_key(r) for r in modern]
+    def test_serve_all_is_gone(self, session_db):
+        assert not hasattr(session_db, "serve_all")
 
     def test_new_forms_do_not_warn(self, session_db, recwarn):
         session_db.serve("clip", (_trace(session_db), _config()))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestDeprecatedClusterKwargs:
+    def test_transport_kwarg_warns_and_matches_cluster_form(self, session_db):
+        trace, config = _trace(session_db), _config()
+        with pytest.warns(DeprecationWarning, match="cluster=ClusterConfig"):
+            legacy = session_db.serve("clip", (trace, config), transport="sim")
+        modern = session_db.serve("clip", (trace, config), cluster=ClusterConfig())
+        assert _summary_key(legacy) == _summary_key(modern)
+
+    def test_kwargs_and_cluster_together_rejected(self, session_db):
+        with pytest.raises(TypeError, match="not both"):
+            session_db.serve(
+                "clip",
+                (_trace(session_db), _config()),
+                cluster=ClusterConfig(),
+                transport="sim",
+            )
+
+    def test_cluster_form_does_not_warn(self, session_db, recwarn):
+        session_db.serve(
+            "clip", (_trace(session_db), _config()), cluster=ClusterConfig()
+        )
         assert not [
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
@@ -110,7 +127,9 @@ class TestHttpTransport:
         handle = start_server(session_db.storage)
         try:
             wire = session_db.serve(
-                "clip", sessions, transport="http", base_url=handle.base_url
+                "clip",
+                sessions,
+                cluster=ClusterConfig(transport="http", base_url=handle.base_url),
             )
         finally:
             handle.stop()
@@ -129,7 +148,9 @@ class TestHttpTransport:
         handle = start_server(session_db.storage)
         try:
             wire = session_db.serve(
-                "clip", (trace, config), transport="http", base_url=handle.base_url
+                "clip",
+                (trace, config),
+                cluster=ClusterConfig(transport="http", base_url=handle.base_url),
             )
         finally:
             handle.stop()
@@ -137,29 +158,41 @@ class TestHttpTransport:
 
 
 class TestDispatchErrors:
-    def test_unknown_transport(self, session_db):
+    def test_unknown_transport(self):
         with pytest.raises(ValueError, match="transport"):
-            session_db.serve(
-                "clip", (_trace(session_db), _config()), transport="carrier-pigeon"
-            )
+            ClusterConfig(transport="carrier-pigeon")
 
-    def test_positional_config_with_new_style(self, session_db):
-        with pytest.raises(TypeError, match="positional config"):
+    def test_unknown_transport_via_legacy_kwarg(self, session_db):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="transport"):
+                session_db.serve(
+                    "clip",
+                    (_trace(session_db), _config()),
+                    transport="carrier-pigeon",
+                )
+
+    def test_positional_config_rejected(self, session_db):
+        # serve() takes only (name, sessions) positionally now; the old
+        # third positional config slot is gone from the signature.
+        with pytest.raises(TypeError, match="positional"):
             session_db.serve("clip", (_trace(session_db), _config()), _config())
 
-    def test_http_requires_base_url(self, session_db):
+    def test_http_requires_base_url(self):
         with pytest.raises(ValueError, match="base_url"):
-            session_db.serve(
-                "clip", (_trace(session_db), _config()), transport="http"
-            )
+            ClusterConfig(transport="http")
+
+    def test_base_url_requires_http(self):
+        with pytest.raises(ValueError, match="base_url"):
+            ClusterConfig(transport="sim", base_url="http://127.0.0.1:1")
 
     def test_http_rejects_simulated_link(self, session_db):
         with pytest.raises(ValueError, match="link"):
             session_db.serve(
                 "clip",
                 (_trace(session_db), _config()),
-                transport="http",
-                base_url="http://127.0.0.1:1",
+                cluster=ClusterConfig(
+                    transport="http", base_url="http://127.0.0.1:1"
+                ),
                 link=SimulatedLink(ConstantBandwidth(100_000)),
             )
 

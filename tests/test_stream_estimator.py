@@ -151,7 +151,7 @@ class TestStreamerIntegration:
             predictor="static",
             estimator=HarmonicMeanEstimator(),
         )
-        report = session_db.serve("clip", trace, config)
+        report = session_db.serve("clip", (trace, config))
         assert len(report.records) == 3
 
     def test_estimator_converges_on_constant_link(self, session_db):
@@ -166,5 +166,5 @@ class TestStreamerIntegration:
             predictor="static",
             estimator=estimator,
         )
-        session_db.serve("clip", trace, config)
+        session_db.serve("clip", (trace, config))
         assert estimator.estimate() == pytest.approx(10_000, rel=0.01)
