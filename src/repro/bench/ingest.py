@@ -29,7 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.harness import emit_table, format_bytes, ratio
-from repro.core.storage import IngestConfig, StorageManager
+from repro.core.storage import IngestConfig, StorageManager, segment_checksum
 from repro.geometry.grid import TileGrid
 from repro.video.codec import (
     FrameCodec,
@@ -200,6 +200,56 @@ def bench_split(frames, gop_frames: int, quality: Quality, repeats: int) -> dict
     }
 
 
+def bench_checksum(frames, config_args: dict, repeats: int) -> dict:
+    """The durability tax: per-segment content checksums at ingest time
+    plus the raw verify throughput a read path pays.
+
+    Ingest is timed with ``checksums=True`` (the default every other
+    number in this report was measured under) against ``checksums=False``
+    so the overhead is a measured fraction, not an asterisk.  Verify
+    throughput hashes the actual stored segment payloads.
+    """
+
+    def one_ingest(checksums: bool) -> float:
+        config = IngestConfig(workers=1, checksums=checksums, **config_args)
+        with tempfile.TemporaryDirectory(prefix="bench-csum-") as root:
+            storage = StorageManager(root)
+            start = time.perf_counter()
+            storage.ingest("bench", iter(frames), config)
+            return time.perf_counter() - start
+
+    with_seconds = min(one_ingest(True) for _ in range(max(1, repeats)))
+    without_seconds = min(one_ingest(False) for _ in range(max(1, repeats)))
+
+    with tempfile.TemporaryDirectory(prefix="bench-csum-") as root:
+        storage = StorageManager(root)
+        meta = storage.ingest(
+            "bench", iter(frames), IngestConfig(workers=1, **config_args)
+        )
+        payloads = [
+            storage.read_segment("bench", gop, tile, quality)
+            for gop, tile, quality in sorted(meta.entries, key=str)
+        ]
+    verified_bytes = sum(len(payload) for payload in payloads)
+    verify_seconds = _best_of(
+        repeats, lambda: [segment_checksum(payload) for payload in payloads]
+    )
+    return {
+        "segments": len(payloads),
+        "verified_bytes": verified_bytes,
+        "ingest_seconds_with_checksums": with_seconds,
+        "ingest_seconds_without_checksums": without_seconds,
+        "ingest_overhead_fraction": max(0.0, with_seconds / without_seconds - 1.0),
+        "verify_seconds": verify_seconds,
+        "verify_microseconds_per_segment": (
+            1e6 * verify_seconds / len(payloads) if payloads else 0.0
+        ),
+        "verify_mb_per_second": (
+            verified_bytes / verify_seconds / 1e6 if verify_seconds > 0 else 0.0
+        ),
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     frames = list(
         synthetic_video(
@@ -235,6 +285,7 @@ def run(args: argparse.Namespace) -> dict:
     entropy = bench_entropy(frames, quality, args.repeats)
     split = bench_split(frames, args.gop_frames, quality, args.repeats)
     ingest = bench_ingest(frames, config_args, workers_list, transport=args.transport)
+    checksum = bench_checksum(frames, config_args, args.repeats)
 
     report = {
         "params": {
@@ -254,11 +305,15 @@ def run(args: argparse.Namespace) -> dict:
             "start_method": encode_start_method(),
             "transport": args.transport,
             "shm_available": shared_memory_available(),
+            # The timed ingest runs pay the per-segment content checksum
+            # (IngestConfig default); the "checksum" section isolates it.
+            "checksums": True,
         },
         "warnings": bench_warnings,
         "entropy": entropy,
         "split": split,
         "ingest": ingest,
+        "checksum": checksum,
     }
 
     emit_table(
@@ -314,6 +369,12 @@ def run(args: argparse.Namespace) -> dict:
         f"\nGOP codec split: encode {split['encode_seconds'] * 1e3:.1f} ms, "
         f"decode {split['decode_seconds'] * 1e3:.1f} ms "
         f"({split['encode_fraction'] * 100:.0f}% encode)"
+    )
+    print(
+        f"checksum tax: +{checksum['ingest_overhead_fraction'] * 100:.1f}% ingest, "
+        f"verify {checksum['verify_microseconds_per_segment']:.1f} µs/segment "
+        f"({checksum['verify_mb_per_second']:.0f} MB/s over "
+        f"{checksum['segments']} segments)"
     )
 
     output = Path(args.output)

@@ -83,7 +83,7 @@ from pathlib import Path
 
 from repro.bench.harness import emit_table, format_bytes
 from repro.core.predictor import PredictionService
-from repro.core.storage import IngestConfig, StorageManager
+from repro.core.storage import IngestConfig, StorageManager, segment_checksum
 from repro.core.streamer import SessionConfig, Streamer
 from repro.geometry.grid import TileGrid
 from repro.obs import MetricsRegistry
@@ -160,6 +160,34 @@ def _sessions_summary(results: list[dict], window_count: int) -> dict:
         "skips": sum(r.get("skips", 0) for r in results),
         "bytes": sum(r.get("bytes", 0) for r in results),
         "matches_sim": sum(1 for r in results if r.get("matches_sim")),
+    }
+
+
+def _bench_checksum_cost(storage, manifest) -> dict:
+    """Verify-cost honesty: every wire response in this report was
+    checksum-stamped and every storage read checksum-verified; this
+    measures what that per-segment hash actually costs, best-of-5 over
+    the bench catalog's real payloads."""
+    keys = sorted(manifest.segment_sizes, key=lambda key: key.to_path())
+    payloads = [
+        storage.read_segment("bench", key.window, key.tile, key.quality)
+        for key in keys
+    ]
+    total = sum(len(payload) for payload in payloads)
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for payload in payloads:
+            segment_checksum(payload)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "segments": len(payloads),
+        "bytes": total,
+        "verify_seconds": best,
+        "verify_microseconds_per_segment": (
+            1e6 * best / len(payloads) if payloads else 0.0
+        ),
+        "verify_mb_per_second": total / best / 1e6 if best > 0 else 0.0,
     }
 
 
@@ -853,6 +881,7 @@ def run(args: argparse.Namespace) -> dict:
             ),
         )
         manifest = storage.build_manifest("bench")
+        checksum_cost = _bench_checksum_cost(storage, manifest)
 
         # Simulated-path references, one per viewer: the differential
         # baseline the wire sessions must reproduce exactly.
@@ -1059,7 +1088,11 @@ def run(args: argparse.Namespace) -> dict:
             "warmup_seconds": args.warmup,
             "measure_seconds": args.measure_seconds,
             "pipeline": args.pipeline,
+            # Every wire response above carried an X-Checksum and every
+            # storage read was verified; the "checksum" section prices it.
+            "checksums": True,
         },
+        "checksum": checksum_cost,
         "wall_seconds": wall_seconds,
         "sessions_completed": ok_sessions,
         "sessions_per_second": ok_sessions / wall_seconds if wall_seconds else 0.0,
@@ -1142,6 +1175,11 @@ def run(args: argparse.Namespace) -> dict:
                 "violations": len(violations),
             }
         ],
+    )
+    print(
+        f"checksum verify: {checksum_cost['verify_microseconds_per_segment']:.1f} "
+        f"µs/segment ({checksum_cost['verify_mb_per_second']:.0f} MB/s over "
+        f"{checksum_cost['segments']} segments)"
     )
     if load_modes:
         emit_table(

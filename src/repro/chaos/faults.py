@@ -31,8 +31,11 @@ from dataclasses import dataclass, field
 
 #: Fault kinds understood by the wrappers.
 #: Storage-target kinds: ``missing`` (persistent index/file loss),
-#: ``corrupt`` (persistent, detected at validation), ``slow`` (transient
-#: latency beyond the read budget), ``flaky`` (transient I/O error).
+#: ``corrupt`` (persistent, detected at validation), ``torn`` (a
+#: half-written segment file under an intact index entry — persistent
+#: but *repairable*: a replica or scrub pass can restore it), ``slow``
+#: (transient latency beyond the read budget), ``flaky`` (transient I/O
+#: error).
 #: Cache-target kind: ``evict`` (the entry vanishes before lookup).
 #: Wire-target kinds (injected by :class:`repro.chaos.proxy.ChaosProxy`
 #: between client and server): ``refuse`` (the connection dies before
@@ -42,7 +45,8 @@ from dataclasses import dataclass, field
 #: seconds until the client gives up), ``delay`` (fixed added latency,
 #: then a clean response).
 WIRE_KINDS = ("refuse", "reset", "truncate", "trickle", "delay")
-KINDS = ("missing", "corrupt", "slow", "flaky", "evict") + WIRE_KINDS
+STORAGE_KINDS = ("missing", "corrupt", "torn", "slow", "flaky")
+KINDS = STORAGE_KINDS + ("evict",) + WIRE_KINDS
 TARGETS = ("storage", "cache", "wire")
 
 #: Bound on the remembered injection log (the counters are always exact).
@@ -74,6 +78,10 @@ class FaultRule:
             raise ValueError(f"unknown fault target {self.target!r}; use one of {TARGETS}")
         if self.kind == "evict" and self.target != "cache":
             raise ValueError("'evict' faults only make sense with target='cache'")
+        if self.kind in STORAGE_KINDS and self.target not in ("storage",):
+            raise ValueError(
+                f"{self.kind!r} is a storage fault; it needs target='storage'"
+            )
         if self.kind in WIRE_KINDS and self.target != "wire":
             raise ValueError(
                 f"{self.kind!r} is a wire fault; it needs target='wire'"

@@ -41,11 +41,24 @@ fault plan; siblings relay cleanly), streamed through a
   injected something;
 * ``bounded_degradation`` (any mode, via ``invariants.max_degradations``)
   — a tier with a healthy replica degrades at most that much.
+
+Sharded wire runs (``sessions.shards``) can additionally set
+``sessions.materialize`` to give every node its *own* on-disk shard root
+(via :func:`~repro.serve.placement.materialize_shards`) instead of one
+shared store, and ``sessions.corrupt_at_rest`` to bit-rot one node's
+segment files before serving — the read-repair scenario. Those runs add:
+
+* ``repair_restores_ingest_bytes`` — every rotted file the serve tier
+  rewrote is byte-identical to the originally ingested segment (a wrong
+  repair is strictly worse than no repair);
+* ``expected_repairs`` (via ``invariants.min_repairs``) — anti-vacuous
+  guard that checksum-triggered peer read-repair actually fired.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -336,6 +349,26 @@ class ScenarioRunner:
                 replication_factor=int(sessions.get("replication_factor", 2)),
             )
 
+        # Per-node shard roots: each server reads (and repairs) its own
+        # disk, so an at-rest corruption on one node is invisible to its
+        # peers — the precondition for exercising read-repair for real.
+        node_storages: dict | None = None
+        corrupted: list[dict] = []
+        if shard_map is not None and sessions.get("materialize"):
+            from repro.core.storage import StorageManager
+            from repro.serve.placement import materialize_shards
+
+            base = Path(db.storage.catalog.root).parent
+            node_roots = {node: base / f"shard-{node}" for node in node_ids}
+            materialize_shards(db.storage, node_roots, shard_map)
+            node_storages = {
+                node: StorageManager(node_roots[node], registry=db.metrics)
+                for node in node_ids
+            }
+            spec = sessions.get("corrupt_at_rest")
+            if spec:
+                corrupted = self._corrupt_at_rest(node_storages, spec)
+
         handles: list = []
         proxies: list[ChaosProxy] = []
         client = None
@@ -346,7 +379,12 @@ class ScenarioRunner:
                     if shard_map is not None
                     else ServerConfig()
                 )
-                handle = start_server(db.storage, config, registry=db.metrics)
+                node_storage = (
+                    node_storages[node_ids[index]]
+                    if node_storages is not None
+                    else db.storage
+                )
+                handle = start_server(node_storage, config, registry=db.metrics)
                 handles.append(handle)
                 proxy = ChaosProxy(
                     handle.address,
@@ -446,6 +484,10 @@ class ScenarioRunner:
                 if controller is not None:
                     controller.step()
             extra_checks, extra_metrics = self._judge_wire(client, failures)
+            if corrupted:
+                repair_checks, repair_metrics = self._judge_repair(db, corrupted)
+                extra_checks = list(extra_checks) + repair_checks
+                extra_metrics["repair"] = repair_metrics
             if controller is not None:
                 # Only counter/plan-derived fields: no wall-clock values
                 # leak into the report, so double replays stay identical.
@@ -503,6 +545,97 @@ class ScenarioRunner:
                 proxy.stop()
             for handle in handles:
                 handle.stop()
+
+    def _corrupt_at_rest(self, node_storages, spec) -> list[dict]:
+        """Bit-rot one node's segment files on disk before serving.
+
+        ``spec``: ``{"node": "node-0", "quality": "low"}`` — ``node``
+        defaults to the first node, ``quality`` (optional) restricts the
+        damage to one rung's files. The flip is deterministic (mid-payload,
+        bit 3), so double replays rot identical bytes. Rotted files are
+        rewritten through a temp file + ``os.replace`` so a hard link
+        shared with the canonical store (or a peer) is broken, not
+        poisoned.
+        """
+        from repro.chaos.corrupt import bit_flip
+
+        node = spec.get("node") or next(iter(node_storages))
+        label = spec.get("quality")
+        storage = node_storages[node]
+        records: list[dict] = []
+        segments_dir = storage.catalog.segments_dir(self.VIDEO_NAME)
+        for path in sorted(segments_dir.iterdir()):
+            if not path.name.endswith(".seg"):
+                continue
+            if label is not None and f"_{label}_" not in path.name:
+                continue
+            original = path.read_bytes()
+            if not original:
+                continue
+            damaged = bit_flip(original, len(original) // 2, bit=3)
+            rotted = path.with_name(path.name + ".rot")
+            rotted.write_bytes(damaged)
+            os.replace(rotted, path)
+            records.append(
+                {"node": node, "path": path, "original": original, "damaged": damaged}
+            )
+        return records
+
+    def _judge_repair(self, db, corrupted):
+        """The read-repair invariants plus deterministic repair metrics."""
+        scenario = self.scenario
+        checks: list[InvariantCheck] = []
+        restored = untouched = 0
+        wrong: list[str] = []
+        for record in corrupted:
+            current = record["path"].read_bytes()
+            if current == record["original"]:
+                restored += 1
+            elif current == record["damaged"]:
+                untouched += 1  # never read, so never repaired — not a failure
+            else:
+                wrong.append(record["path"].name)
+        checks.append(
+            InvariantCheck(
+                "repair_restores_ingest_bytes",
+                ok=not wrong,
+                details=(
+                    f"rewritten files differ from ingest bytes: {wrong[:10]}"
+                    if wrong
+                    else ""
+                ),
+            )
+        )
+        registry = db.metrics
+        success = registry.counter("storage.repair_success").total()
+        min_repairs = scenario.invariants.get("min_repairs")
+        if min_repairs is not None:
+            ok = success >= int(min_repairs) and restored >= 1
+            checks.append(
+                InvariantCheck(
+                    "expected_repairs",
+                    ok=ok,
+                    details=(
+                        ""
+                        if ok
+                        else (
+                            f"storage.repair_success={success} < "
+                            f"min_repairs={min_repairs} "
+                            f"(files restored on disk: {restored})"
+                        )
+                    ),
+                )
+            )
+        metrics = {
+            "files_corrupted": len(corrupted),
+            "files_restored": restored,
+            "files_untouched": untouched,
+            "attempts": registry.counter("storage.repair_attempts").total(),
+            "success": success,
+            "failed": registry.counter("storage.repair_failed").total(),
+            "bytes": registry.counter("storage.repair_bytes").total(),
+        }
+        return checks, metrics
 
     def _judge_wire(self, client, failures):
         """The wire-only invariants plus deterministic failover metrics.

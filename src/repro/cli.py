@@ -289,6 +289,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("stats", help="catalog and cache statistics")
 
+    fsck = commands.add_parser(
+        "fsck",
+        help="audit the catalog for crash debris (uncommitted versions, "
+        "orphan temp files, damaged segments); exits nonzero if unclean",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix what the audit finds: adopt valid marker-less versions, "
+        "delete torn ones, sweep orphan temp/segment files",
+    )
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="verify every committed segment's bytes against its content "
+        "checksum (bit-rot detection); exits nonzero on any corruption",
+    )
+    scrub.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="restrict the scrub to one video (default: the whole catalog)",
+    )
+
     metrics = commands.add_parser(
         "metrics",
         help="export live metrics (JSON or Prometheus text), optionally after "
@@ -649,6 +673,44 @@ def _command_chaos(db: VisualCloud, args) -> int:
     return 0
 
 
+def _command_fsck(db: VisualCloud, args) -> int:
+    report = db.fsck(repair=args.repair)
+    print(f"videos checked: {report['videos_checked']}")
+    for key in (
+        "adopted_versions",
+        "rolled_back_versions",
+        "dangling_markers",
+        "dropped_videos",
+        "orphan_tmp",
+        "orphan_segments",
+    ):
+        values = report.get(key, [])
+        if values:
+            print(f"{key.replace('_', ' ')}: {', '.join(str(v) for v in values)}")
+    if report["clean"]:
+        print("clean")
+        return 0
+    if args.repair:
+        # Everything fsck reports under --repair it also fixed; the
+        # catalog is consistent now even though the audit found debris.
+        print("repaired")
+        return 0
+    print("NOT CLEAN (re-run with --repair to fix)")
+    return 1
+
+
+def _command_scrub(db: VisualCloud, args) -> int:
+    report = db.scrub(video=args.name)
+    corrupt = report["corrupt"]
+    print(
+        f"scrubbed {report['segments_checked']} segment files: "
+        f"{len(corrupt)} corrupt"
+    )
+    for item in corrupt:
+        print(f"  corrupt: {item}")
+    return 0 if not corrupt else 1
+
+
 def _command_stats(db: VisualCloud, args) -> None:
     snapshot = db.stats()
     for name, info in snapshot["videos"].items():
@@ -680,6 +742,8 @@ _COMMANDS = {
     "import": _command_import,
     "drop": _command_drop,
     "vacuum": _command_vacuum,
+    "fsck": _command_fsck,
+    "scrub": _command_scrub,
     "stats": _command_stats,
     "metrics": _command_metrics,
     "bench-serve": _command_bench_serve,

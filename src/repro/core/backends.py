@@ -27,6 +27,15 @@ answer right now raises :class:`~repro.core.errors.TransientSegmentError`
 (or :class:`~repro.core.errors.SegmentReadTimeout`). The tiered backend
 and the server's peer-fetch path rely on that distinction to decide
 whether falling through is correct or masking data loss.
+
+Integrity contract: every byte path into this surface is checksummed
+end to end. ``StorageManager`` (and therefore ``LocalStorageBackend``)
+verifies each read against the content checksum committed in the
+version's metadata; :class:`RemotePeerBackend` rides
+``HttpSegmentClient``, which verifies the peer's ``X-Checksum`` response
+header against the received body — so the bytes a tier hands upward, or
+that the read-repair path rewrites to disk, have already survived an
+integrity check at their source.
 """
 
 from __future__ import annotations
@@ -166,7 +175,12 @@ class RemotePeerBackend:
     executor threads (the client serializes on its own lock). Transport
     failures surface as the storage error taxonomy — a dead peer is
     :class:`TransientSegmentError`, a peer that answers 404 is
-    authoritative :class:`SegmentNotFoundError`.
+    authoritative :class:`SegmentNotFoundError`, and a body that fails
+    its ``X-Checksum`` header is :class:`TransientSegmentError` (damage
+    in transit, not an authoritative verdict about the stored bytes) —
+    which makes this backend safe as a read-repair source: repaired
+    bytes were verified against the peer's own checksum before the
+    repairer re-verifies them against the local index entry.
     """
 
     def __init__(self, base_url: str, timeout: float = 5.0) -> None:

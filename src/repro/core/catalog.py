@@ -6,7 +6,9 @@ Each video occupies one directory under the catalog root:
 
     <root>/<name>/
         metadata_v1.mp4     one MP4-style metadata file per version
-        metadata_v2.mp4
+        metadata_v1.ok      commit marker (written last; holds the
+        metadata_v2.mp4      metadata file's content checksum)
+        metadata_v2.ok
         segments/           encoded tile segments, shared across versions
             g00000_r0_c0_high_v1.seg
 
@@ -15,6 +17,17 @@ and only the segment files that actually changed, pointing at prior
 versions' files for everything else (track-granularity copy-on-write).
 Readers therefore get snapshot isolation for free — a version, once
 written, never changes underneath them.
+
+Commit protocol: segment files are published first (temp file + fsync +
+``os.replace``), then the metadata file, then the ``.ok`` marker — each
+step atomic. A version is *committed* once its marker exists;
+:meth:`Catalog.versions` never reports a marker-less version in a video
+that has any markers, so a hard crash at any point leaves either the old
+catalog state or the new one, never a half-written version.
+``StorageManager.fsck`` rolls marker-less metadata forward (validating
+and adopting it) or back (deleting it). Catalogs written before markers
+existed carry no markers at all; such videos are served as-is and
+adopted wholesale on their first ``fsck --repair``.
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from repro.video.quality import Quality
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
 _METADATA_PATTERN = re.compile(r"^metadata_v(\d+)\.mp4$")
+_MARKER_PATTERN = re.compile(r"^metadata_v(\d+)\.ok$")
 
 
 def segment_file_name(
@@ -67,25 +81,49 @@ class Catalog:
             if entry.is_dir() and _NAME_PATTERN.match(entry.name)
         )
 
-    def versions(self, name: str) -> list[int]:
-        """All committed versions of a video, ascending."""
+    def scan_versions(self, name: str) -> tuple[set[int], set[int]]:
+        """One-pass raw listing: ``(metadata_versions, marker_versions)``.
+
+        The fsck substrate — no commit-state interpretation is applied.
+        """
         directory = self.video_dir(name)
         if not directory.is_dir():
             raise CatalogError(f"video {name!r} does not exist")
-        found = []
+        metadata: set[int] = set()
+        markers: set[int] = set()
         for entry in directory.iterdir():
             match = _METADATA_PATTERN.match(entry.name)
             if match:
-                found.append(int(match.group(1)))
-        if not found:
+                metadata.add(int(match.group(1)))
+                continue
+            match = _MARKER_PATTERN.match(entry.name)
+            if match:
+                markers.add(int(match.group(1)))
+        return metadata, markers
+
+    def versions(self, name: str) -> list[int]:
+        """All committed versions of a video, ascending.
+
+        A version counts as committed when its ``.ok`` marker exists. A
+        video with metadata files but *no* markers at all predates the
+        commit protocol (legacy catalog): every metadata file is complete
+        by the old code's semantics, so all of them are reported.
+        """
+        metadata, markers = self.scan_versions(name)
+        committed = metadata & markers if markers else metadata
+        if not committed:
             raise CatalogError(f"video {name!r} has no committed versions")
-        return sorted(found)
+        return sorted(committed)
 
     def latest_version(self, name: str) -> int:
         return self.versions(name)[-1]
 
     def metadata_path(self, name: str, version: int) -> Path:
         return self.video_dir(name) / f"metadata_v{version}.mp4"
+
+    def marker_path(self, name: str, version: int) -> Path:
+        """Commit marker published after a version's metadata file."""
+        return self.video_dir(name) / f"metadata_v{version}.ok"
 
     def segment_path(
         self, name: str, gop: int, tile: tuple[int, int], quality: Quality, version: int

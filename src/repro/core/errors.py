@@ -22,7 +22,21 @@ class SegmentNotFoundError(VisualCloudError):
     produce a segment's bytes — index miss, deleted file, OS-level read
     error, or validation failure — surfaces as this type (or a subclass),
     never as a raw ``FileNotFoundError``/``OSError``.
+
+    ``repairable`` distinguishes the two very different situations inside
+    that contract. An index miss is authoritative — no replica anywhere
+    holds the segment, so failover and read-repair must not be attempted.
+    But when the *index* has an entry and only the local bytes are
+    missing, torn, or corrupt, an intact copy may exist on a peer owner:
+    storage sets ``repairable = True`` on the raised instance and the
+    serve tier may heal the local copy via peer read-repair before
+    answering.
     """
+
+    #: Instance-level override: True when the metadata index references
+    #: the segment but the local bytes failed (missing file / bad size /
+    #: bad checksum) — i.e. a peer replica may still hold intact bytes.
+    repairable = False
 
 
 class SegmentCorruptError(SegmentNotFoundError):

@@ -123,7 +123,16 @@ def _read_with_retries(
             return None, attempt, attempt - 1, reason
         except SegmentNotFoundError as error:
             # Persistent: the rung is gone or corrupt — retrying the same
-            # bytes cannot help, fall through to the ladder.
+            # bytes cannot help, fall through to the ladder. Repairable
+            # failures (file torn or rotted *under* an intact index entry)
+            # are counted separately: each is a segment a read-repairing
+            # server or an operator ``scrub`` could restore, and the
+            # counter is how that backlog becomes visible.
+            if getattr(error, "repairable", False):
+                metrics.counter(
+                    "stream.repairable_failures",
+                    "persistent read failures a repair pass could heal",
+                ).inc(video=name)
             return None, attempt, attempt - 1, str(error)
         return data, attempt, attempt - 1, reason
     raise AssertionError("unreachable: the retry loop always returns")

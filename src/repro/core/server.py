@@ -72,6 +72,15 @@ class VisualCloud:
         metrics registry (counters/gauges/histograms/recent spans)."""
         return {**self.storage.stats(), "metrics": self.metrics.snapshot()}
 
+    def fsck(self, repair: bool = False) -> dict:
+        """Crash-recovery audit of the catalog; see ``StorageManager.fsck``."""
+        return self.storage.fsck(repair=repair)
+
+    def scrub(self, source=None, video: str | None = None) -> dict:
+        """Verify every committed segment's bytes against its checksum,
+        optionally repairing from ``source``; see ``StorageManager.scrub``."""
+        return self.storage.scrub(source=source, video=video)
+
     # -- ingest ---------------------------------------------------------------
 
     def ingest(

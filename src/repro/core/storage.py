@@ -22,7 +22,9 @@ own.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import signal
 import struct
 import warnings
 from concurrent.futures.process import BrokenProcessPool
@@ -37,6 +39,7 @@ from repro.core.errors import (
     IngestError,
     SegmentCorruptError,
     SegmentNotFoundError,
+    VisualCloudError,
 )
 from repro.geometry.grid import TileGrid
 from repro.obs import MetricsRegistry
@@ -78,6 +81,12 @@ class IngestConfig:
     (shared-memory blocks where the platform supports them, else
     pickling), ``"shm"``, or ``"pickle"``. Bytes are identical on every
     transport; only the IPC cost differs.
+
+    ``checksums`` records a per-segment content checksum in the metadata
+    index (default on). Readers verify it on every uncached read and the
+    serve tier uses it to trigger peer read-repair; turning it off
+    writes legacy-style entries (checksum 0 = unknown, never verified) —
+    the ablation arm the ingest bench compares against.
     """
 
     grid: TileGrid = TileGrid(4, 4)
@@ -87,6 +96,7 @@ class IngestConfig:
     projection: str = "equirectangular"
     workers: int | None = None
     transport: str = "auto"
+    checksums: bool = True
 
     def __post_init__(self) -> None:
         if self.gop_frames < 1:
@@ -113,10 +123,12 @@ class IngestConfig:
 
 @dataclass(frozen=True)
 class SegmentEntry:
-    """Index entry for one stored segment: where and how big."""
+    """Index entry for one stored segment: where, how big, and what the
+    bytes must hash to (:func:`segment_checksum`; 0 = unknown/legacy)."""
 
     size: int
     file_version: int  # the version whose STORE wrote the bytes
+    checksum: int = 0
 
 
 @dataclass
@@ -201,14 +213,25 @@ def _build_metadata_file(meta: VideoMeta) -> Mp4File:
     for tile in meta.grid.tiles():
         for quality in meta.qualities:
             entries = []
+            checksums = []
             for gop in range(meta.gop_count):
                 entry = meta.entries.get((gop, tile, quality))
                 if entry is None:
                     continue
                 time_ms = int(round(meta.gop_start_time(gop) * 1000))
                 entries.append((time_ms, entry.file_version, entry.size))
+                checksums.append(entry.checksum)
             if not entries:
                 continue
+            # Content checksums ride in a sibling leaf atom (one >I per
+            # stss entry, same order) rather than widening the stss
+            # record: old parsers skip unknown atoms, so pre-checksum
+            # readers still parse post-checksum metadata.
+            csum = Atom(
+                "csum",
+                payload=struct.pack(">I", len(checksums))
+                + b"".join(struct.pack(">I", value) for value in checksums),
+            )
             traks.append(
                 Atom(
                     "trak",
@@ -216,6 +239,7 @@ def _build_metadata_file(meta: VideoMeta) -> Mp4File:
                         make_stsd("vcbd", tile_width, tile_height, meta.fps, quality.label),
                         Atom("tloc", payload=struct.pack(">BB", *tile)),
                         make_stss(entries),
+                        csum,
                     ],
                 )
             )
@@ -227,6 +251,22 @@ def _build_metadata_file(meta: VideoMeta) -> Mp4File:
 
 
 def _parse_metadata_file(name: str, data: bytes) -> VideoMeta:
+    """Parse one metadata blob, rejecting damage in a controlled way.
+
+    Torn or bit-rotted metadata must surface as :class:`CatalogError`
+    (or ``ValueError``/``EOFError`` from the MP4 layer) — never a raw
+    ``struct.error`` from an unpack that ran off the end of a truncated
+    payload, which callers would not recognise as corruption.
+    """
+    try:
+        return _parse_metadata_atoms(name, data)
+    except struct.error as error:
+        raise CatalogError(
+            f"metadata for {name!r} is truncated or damaged: {error}"
+        ) from error
+
+
+def _parse_metadata_atoms(name: str, data: bytes) -> VideoMeta:
     mp4 = Mp4File.parse(data)
     moov = mp4.find("moov")
     if moov is None:
@@ -277,10 +317,105 @@ def _parse_metadata_file(name: str, data: bytes) -> VideoMeta:
             raise CatalogError(f"metadata for {name!r} has an incomplete trak")
         quality = Quality.from_label(parse_stsd(stsd)["quality"])
         tile = tuple(struct.unpack(">BB", tloc.payload))
-        for time_ms, file_version, size in parse_stss(stss):
+        csum = trak.find("csum")
+        checksums: list[int] = []
+        if csum is not None:
+            (count,) = struct.unpack_from(">I", csum.payload)
+            checksums = [
+                struct.unpack_from(">I", csum.payload, 4 + 4 * i)[0]
+                for i in range(count)
+            ]
+        for index, (time_ms, file_version, size) in enumerate(parse_stss(stss)):
             gop = int(round(time_ms / gop_duration_ms))
-            meta.entries[(gop, tile, quality)] = SegmentEntry(size, file_version)
+            checksum = checksums[index] if index < len(checksums) else 0
+            meta.entries[(gop, tile, quality)] = SegmentEntry(
+                size, file_version, checksum
+            )
     return meta
+
+
+# -- durability substrate ------------------------------------------------------
+
+def segment_checksum(data: bytes) -> int:
+    """Content checksum for stored bytes: the first 32 bits of SHA-256.
+
+    Stored per segment in the metadata index, carried on the wire as the
+    ``X-Checksum`` response header, and verified on local read, peer
+    fetch, and scrub. A cryptographic prefix (rather than a plain CRC)
+    keeps single-bit, swap, and truncation errors detectable with the
+    stdlib only; 0 is reserved for "unknown" (legacy entries), so a real
+    checksum of 0 is remapped to 1 — a one-in-4-billion bias that keeps
+    the sentinel unambiguous.
+    """
+    value = int.from_bytes(hashlib.sha256(data).digest()[:4], "big")
+    return value or 1
+
+
+def checksum_hex(data: bytes) -> str:
+    """Wire form of :func:`segment_checksum`: 8 lowercase hex digits."""
+    return format(segment_checksum(data), "08x")
+
+
+#: Crash-point hook for durability tests: when set to an integer N, the
+#: N-th atomic publish in this process is replaced by SIGKILL — the
+#: hardest possible failure at a seeded write point. N=1 dies before any
+#: file lands; higher N leaves N-1 completed publishes behind.
+_CRASH_ENV = "REPRO_CRASH_AFTER_WRITES"
+_publish_attempts = 0
+
+
+def _maybe_crash() -> None:
+    target = os.environ.get(_CRASH_ENV)
+    if not target:
+        return
+    global _publish_attempts
+    _publish_attempts += 1
+    if _publish_attempts >= int(target):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (or O_RDONLY on dirs)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; rename is still atomic
+    finally:
+        os.close(fd)
+
+
+def _publish_bytes(path: Path, payload: bytes) -> None:
+    """Crash-consistent write: temp file, fsync, atomic rename, dir fsync.
+
+    After this returns, ``path`` holds exactly ``payload``; if the
+    process dies at any earlier point, ``path`` is untouched and at worst
+    a ``*.tmp`` orphan remains for ``fsck`` to sweep. Readers never see a
+    partial file.
+    """
+    _maybe_crash()
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _marker_payload(metadata_blob: bytes) -> bytes:
+    """Commit-marker contents: the metadata file's own content checksum,
+    so fsck can detect bit rot in the metadata file itself."""
+    return (checksum_hex(metadata_blob) + "\n").encode("ascii")
+
+
+def _tag_repairable(error: SegmentNotFoundError) -> SegmentNotFoundError:
+    """Mark a storage error as peer-repairable (see ``core/errors.py``):
+    the index references the segment, only the local bytes failed."""
+    error.repairable = True
+    return error
 
 
 def _chunk(frames: Iterable[Frame], size: int) -> Iterator[list[Frame]]:
@@ -307,6 +442,13 @@ class StorageManager:
     (``self.metrics``), and :class:`~repro.core.server.VisualCloud`
     passes a database-wide registry so storage, delivery, and prediction
     metrics export together.
+
+    ``verify_checksums`` gates read-path content verification: every
+    uncached :meth:`read_segment` hashes the bytes it loaded and compares
+    against the index entry's recorded checksum (entries with checksum 0
+    — legacy or ``checksums=False`` ingests — are never verified). Off
+    is the bench ablation arm; the corruption-detection guarantees assume
+    it stays on.
     """
 
     def __init__(
@@ -314,11 +456,14 @@ class StorageManager:
         root: Path | str,
         cache_bytes: int = 8 * 1024 * 1024,
         registry: MetricsRegistry | None = None,
+        verify_checksums: bool = True,
     ) -> None:
         from repro.core.cache import LruSegmentCache
 
         self.catalog = Catalog(root)
         self.metrics = registry if registry is not None else MetricsRegistry()
+        self.verify_checksums = verify_checksums
+        self._drop_listeners: list = []
         self._meta_cache: dict[tuple[str, int], VideoMeta] = {}
         self.segment_cache = (
             LruSegmentCache(cache_bytes, registry=self.metrics)
@@ -353,6 +498,24 @@ class StorageManager:
         }
         if self.segment_cache is not None:
             self.segment_cache.invalidate_prefix(name)
+        # Layers holding derived copies of this video's bytes (the serve
+        # tier's pinned hot set, peer caches) invalidate through these —
+        # without them a dropped-then-recreated name could keep serving
+        # the old video's RAM copies.
+        for listener in list(self._drop_listeners):
+            listener(name)
+
+    def add_drop_listener(self, listener) -> None:
+        """Register ``listener(name)`` to run after every :meth:`drop`.
+
+        Callbacks run on the dropping thread and must not block; a serve
+        tier schedules its hot-set invalidation onto its own event loop.
+        """
+        self._drop_listeners.append(listener)
+
+    def remove_drop_listener(self, listener) -> None:
+        if listener in self._drop_listeners:
+            self._drop_listeners.remove(listener)
 
     # -- ingest ----------------------------------------------------------------
 
@@ -512,9 +675,11 @@ class StorageManager:
                             path = self.catalog.segment_path(
                                 name, gop_index, tile, quality, version
                             )
-                            path.write_bytes(payload)
+                            _publish_bytes(path, payload)
                             new_entries[(gop_index, tile, quality)] = SegmentEntry(
-                                len(payload), version
+                                len(payload),
+                                version,
+                                segment_checksum(payload) if config.checksums else 0,
                             )
                             self.metrics.counter(
                                 "storage.segments_written", "segment files written"
@@ -704,8 +869,10 @@ class StorageManager:
                 quality = window.tile_quality(*tile)
                 observed.add(quality)
                 path = self.catalog.segment_path(name, gop_index, tile, quality, version)
-                path.write_bytes(payload)
-                entries[(gop_index, tile, quality)] = SegmentEntry(len(payload), version)
+                _publish_bytes(path, payload)
+                entries[(gop_index, tile, quality)] = SegmentEntry(
+                    len(payload), version, segment_checksum(payload)
+                )
         meta = VideoMeta(
             name=name,
             version=version,
@@ -732,7 +899,16 @@ class StorageManager:
         with self.metrics.span(
             "storage.ingest.commit", video=meta.name, version=meta.version
         ):
-            path.write_bytes(_build_metadata_file(meta).serialize())
+            # Segments are already durable; the metadata publish makes
+            # the version parseable and the marker publish commits it —
+            # both atomic renames, so a crash between them leaves a
+            # complete-but-uncommitted version that fsck rolls forward.
+            blob = _build_metadata_file(meta).serialize()
+            _publish_bytes(path, blob)
+            _publish_bytes(
+                self.catalog.marker_path(meta.name, meta.version),
+                _marker_payload(blob),
+            )
         self._meta_cache[(meta.name, meta.version)] = meta
         self.metrics.counter("storage.versions_committed", "metadata commits").inc()
 
@@ -774,22 +950,43 @@ class StorageManager:
         path = self.catalog.segment_path(name, gop, tile, quality, entry.file_version)
 
         def load() -> bytes:
+            # All failures below are tagged repairable: the index has an
+            # entry, so an intact copy may exist on a peer owner.
             try:
                 data = path.read_bytes()
             except FileNotFoundError as error:
                 # The index said the segment exists but the file is gone —
                 # keep the storage boundary's error contract (see
                 # core/errors.py) instead of leaking the OS exception.
-                raise SegmentNotFoundError(
-                    f"segment file {path.name} of {name!r} is missing from disk"
+                raise _tag_repairable(
+                    SegmentNotFoundError(
+                        f"segment file {path.name} of {name!r} is missing from disk"
+                    )
                 ) from error
             except OSError as error:
-                raise SegmentNotFoundError(
-                    f"segment file {path.name} of {name!r} could not be read: {error}"
+                raise _tag_repairable(
+                    SegmentNotFoundError(
+                        f"segment file {path.name} of {name!r} could not be read: "
+                        f"{error}"
+                    )
                 ) from error
             if len(data) != entry.size:
-                raise SegmentCorruptError(
-                    f"segment {path.name} is {len(data)} bytes, index says {entry.size}"
+                raise _tag_repairable(
+                    SegmentCorruptError(
+                        f"segment {path.name} is {len(data)} bytes, index says "
+                        f"{entry.size}"
+                    )
+                )
+            if (
+                self.verify_checksums
+                and entry.checksum
+                and segment_checksum(data) != entry.checksum
+            ):
+                raise _tag_repairable(
+                    SegmentCorruptError(
+                        f"segment {path.name} of {name!r} fails its content "
+                        "checksum (bit rot or torn write)"
+                    )
                 )
             return data
 
@@ -924,10 +1121,286 @@ class StorageManager:
                 files_deleted += 1
         for version in dropped:
             self.catalog.metadata_path(name, version).unlink()
+            self.catalog.marker_path(name, version).unlink(missing_ok=True)
             self._meta_cache.pop((name, version), None)
         if self.segment_cache is not None:
             self.segment_cache.invalidate_prefix(name)
         return files_deleted, bytes_freed
+
+    # -- durability / self-healing ---------------------------------------------
+
+    def verify_segment_bytes(
+        self,
+        name: str,
+        gop: int,
+        tile: tuple[int, int],
+        quality: Quality,
+        data: bytes,
+        version: int | None = None,
+    ) -> SegmentEntry:
+        """Check candidate bytes against the index entry; return the entry.
+
+        Raises :class:`SegmentNotFoundError` when the index has no such
+        segment and :class:`SegmentCorruptError` when the bytes disagree
+        with the recorded size or checksum — the gate every read-repair
+        write must pass, so a corrupt peer copy can never overwrite disk.
+        """
+        meta = self.meta(name, version)
+        entry = meta.entries.get((gop, tile, quality))
+        if entry is None:
+            raise SegmentNotFoundError(
+                f"{name!r} v{meta.version} has no segment (gop={gop}, tile={tile}, "
+                f"quality={quality.label})"
+            )
+        if len(data) != entry.size:
+            raise SegmentCorruptError(
+                f"candidate bytes for (gop={gop}, tile={tile}, "
+                f"quality={quality.label}) of {name!r} are {len(data)} bytes, "
+                f"index says {entry.size}"
+            )
+        if entry.checksum and segment_checksum(data) != entry.checksum:
+            raise SegmentCorruptError(
+                f"candidate bytes for (gop={gop}, tile={tile}, "
+                f"quality={quality.label}) of {name!r} fail the index checksum"
+            )
+        return entry
+
+    def repair_segment(
+        self,
+        name: str,
+        gop: int,
+        tile: tuple[int, int],
+        quality: Quality,
+        data: bytes,
+        version: int | None = None,
+    ) -> Path:
+        """Atomically rewrite a segment's local bytes from a verified copy.
+
+        The one sanctioned exception to no-overwrite storage: the bytes
+        must pass :meth:`verify_segment_bytes` first, so the file content
+        after repair is exactly what the index committed at ingest. The
+        buffer pool entry is invalidated so the next read serves the
+        repaired file.
+        """
+        entry = self.verify_segment_bytes(name, gop, tile, quality, data, version)
+        path = self.catalog.segment_path(name, gop, tile, quality, entry.file_version)
+        _publish_bytes(path, data)
+        if self.segment_cache is not None:
+            self.segment_cache.invalidate(
+                SegmentKey(gop, tile, quality).cache_key(name, entry.file_version)
+            )
+        self.metrics.counter(
+            "storage.repair_success", "segments rewritten from a verified copy"
+        ).inc(video=name)
+        self.metrics.counter(
+            "storage.repair_bytes", "bytes rewritten by read-repair"
+        ).inc(len(data))
+        return path
+
+    def fsck(self, repair: bool = False) -> dict:
+        """Audit the catalog for crash debris; optionally repair it.
+
+        Recovery rules (the commit protocol's inverse):
+
+        * ``*.tmp`` files are torn publishes — never visible to readers,
+          deleted on repair.
+        * A marker without metadata is impossible under the publish order
+          (metadata lands first); it is bit-rot/manual damage and is
+          deleted on repair.
+        * Metadata without a marker is an interrupted commit. The publish
+          order guarantees the metadata file itself is complete, so fsck
+          *rolls forward*: if it parses, matches every referenced segment
+          file (size + checksum), it is adopted by writing its marker;
+          otherwise it is rolled back (deleted). Legacy catalogs written
+          before markers existed take exactly this adoption path.
+        * A video directory with no committed versions (the SIGKILL-mid-
+          ingest case) is dropped wholesale on repair.
+        * Segment files no committed version references are orphans from
+          a rolled-back version — deleted on repair.
+
+        Returns a JSON-serialisable report; ``report["clean"]`` is True
+        when nothing was found.
+        """
+        report: dict = {
+            "videos_checked": 0,
+            "orphan_tmp": [],
+            "adopted_versions": [],
+            "rolled_back_versions": [],
+            "dangling_markers": [],
+            "dropped_videos": [],
+            "orphan_segments": [],
+            "repair": repair,
+        }
+        for name in self.list_videos():
+            report["videos_checked"] += 1
+            video_dir = self.catalog.video_dir(name)
+            for tmp in sorted(video_dir.rglob("*.tmp")):
+                report["orphan_tmp"].append(str(tmp.relative_to(self.catalog.root)))
+                if repair:
+                    tmp.unlink()
+            metadata, markers = self.catalog.scan_versions(name)
+            for version in sorted(markers - metadata):
+                report["dangling_markers"].append(f"{name} v{version}")
+                if repair:
+                    self.catalog.marker_path(name, version).unlink()
+                    markers.discard(version)
+            committed = metadata & markers if markers else set()
+            for version in sorted(metadata - committed):
+                if self._validate_version(name, version):
+                    report["adopted_versions"].append(f"{name} v{version}")
+                    if repair:
+                        blob = self.catalog.metadata_path(name, version).read_bytes()
+                        _publish_bytes(
+                            self.catalog.marker_path(name, version),
+                            _marker_payload(blob),
+                        )
+                        committed.add(version)
+                else:
+                    report["rolled_back_versions"].append(f"{name} v{version}")
+                    if repair:
+                        self.catalog.metadata_path(name, version).unlink()
+                        self.catalog.marker_path(name, version).unlink(missing_ok=True)
+                        self._meta_cache.pop((name, version), None)
+            if not metadata or (repair and not committed):
+                report["dropped_videos"].append(name)
+                if repair:
+                    self.drop(name)
+                continue
+            if repair:
+                self._sweep_orphan_segments(name, sorted(committed), report)
+        report["clean"] = not any(
+            report[key]
+            for key in (
+                "orphan_tmp",
+                "adopted_versions",
+                "rolled_back_versions",
+                "dangling_markers",
+                "dropped_videos",
+                "orphan_segments",
+            )
+        )
+        return report
+
+    def _validate_version(self, name: str, version: int) -> bool:
+        """True when a version's metadata parses, matches its marker (if
+        any), and every referenced segment file is intact on disk."""
+        path = self.catalog.metadata_path(name, version)
+        try:
+            blob = path.read_bytes()
+            meta = _parse_metadata_file(name, blob)
+        except (OSError, CatalogError, ValueError, struct.error):
+            return False
+        marker = self.catalog.marker_path(name, version)
+        if marker.exists():
+            try:
+                if marker.read_bytes() != _marker_payload(blob):
+                    return False
+            except OSError:
+                return False
+        for (gop, tile, quality), entry in meta.entries.items():
+            segment = self.catalog.segment_path(
+                name, gop, tile, quality, entry.file_version
+            )
+            try:
+                data = segment.read_bytes()
+            except OSError:
+                return False
+            if len(data) != entry.size:
+                return False
+            if entry.checksum and segment_checksum(data) != entry.checksum:
+                return False
+        return True
+
+    def _sweep_orphan_segments(
+        self, name: str, committed: list[int], report: dict
+    ) -> None:
+        """Delete segment files no committed version references."""
+        referenced: set[str] = set()
+        for version in committed:
+            try:
+                meta = self.meta(name, version)
+            except CatalogError:
+                continue
+            for (gop, tile, quality), entry in meta.entries.items():
+                referenced.add(
+                    self.catalog.segment_path(
+                        name, gop, tile, quality, entry.file_version
+                    ).name
+                )
+        for path in sorted(self.catalog.segments_dir(name).iterdir()):
+            if path.is_file() and path.name not in referenced:
+                report["orphan_segments"].append(
+                    str(path.relative_to(self.catalog.root))
+                )
+                path.unlink()
+
+    def scrub(
+        self,
+        source: SegmentBackend | None = None,
+        video: str | None = None,
+    ) -> dict:
+        """Proactive integrity walk: verify every committed segment file.
+
+        Reads each referenced segment file directly (bypassing the buffer
+        pool — the point is the disk) and checks size and checksum. With
+        a ``source`` backend (a peer owner, a replica, a backup), corrupt
+        segments are re-fetched, re-verified, and atomically repaired;
+        without one they are only reported. Returns a deterministic
+        report with per-video counts.
+        """
+        names = [video] if video is not None else self.list_videos()
+        report: dict = {
+            "segments_checked": 0,
+            "corrupt": [],
+            "repaired": [],
+            "repair_failed": [],
+        }
+        for name in sorted(names):
+            try:
+                versions = self.catalog.versions(name)
+            except CatalogError:
+                continue
+            seen: set[tuple[int, tuple[int, int], Quality, int]] = set()
+            for version in versions:
+                meta = self.meta(name, version)
+                for (gop, tile, quality), entry in sorted(
+                    meta.entries.items(), key=lambda item: str(item[0])
+                ):
+                    identity = (gop, tile, quality, entry.file_version)
+                    if identity in seen:
+                        continue  # shared copy-on-write file, checked once
+                    seen.add(identity)
+                    report["segments_checked"] += 1
+                    path = self.catalog.segment_path(
+                        name, gop, tile, quality, entry.file_version
+                    )
+                    label = f"{name}/{path.name}"
+                    try:
+                        data = path.read_bytes()
+                    except OSError:
+                        data = None
+                    if (
+                        data is not None
+                        and len(data) == entry.size
+                        and (
+                            not entry.checksum
+                            or segment_checksum(data) == entry.checksum
+                        )
+                    ):
+                        continue
+                    report["corrupt"].append(label)
+                    if source is None:
+                        continue
+                    try:
+                        fresh = source.read_segment(name, gop, tile, quality)
+                        self.repair_segment(
+                            name, gop, tile, quality, fresh, version
+                        )
+                    except VisualCloudError as error:
+                        report["repair_failed"].append(f"{label}: {error}")
+                    else:
+                        report["repaired"].append(label)
+        return report
 
     def stats(self) -> dict:
         """Operational snapshot: catalog contents and cache behaviour."""

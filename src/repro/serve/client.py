@@ -44,6 +44,7 @@ from repro.core.errors import (
     TransientSegmentError,
 )
 from repro.core.predictor import PredictionService
+from repro.core.storage import checksum_hex
 from repro.core.streamer import SessionConfig, Streamer
 from repro.obs import MetricsRegistry
 from repro.predict.traces import Trace
@@ -227,6 +228,16 @@ class HttpSegmentClient:
         path = f"/segment/{name}/{key.to_path()}"
         status, headers, body = self._request(path)
         self._raise_for_status(status, headers, body, path)
+        expected = headers.get("X-Checksum")
+        if expected is not None and checksum_hex(body) != expected.strip().lower():
+            # The body the server hashed is not the body that arrived —
+            # transport damage. Transient (not SegmentCorruptError: that
+            # would read as an authoritative server-side verdict and stop
+            # failover) so the caller retries or tries a sibling replica.
+            raise TransientSegmentError(
+                f"GET {path} -> 200 but the body fails its X-Checksum "
+                f"({checksum_hex(body)} != {expected.strip().lower()})"
+            )
         return body
 
     def fetch_metrics(self, local: bool = False) -> dict:

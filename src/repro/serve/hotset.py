@@ -43,15 +43,23 @@ affected paths, exactly as the delivery URL space changes.
 
 from __future__ import annotations
 
+from repro.core.storage import checksum_hex
 from repro.obs import MetricsRegistry
 
 
-def _header_block(body_length: int, keep_alive: bool) -> bytes:
-    """The exact bytes ``_Response.encode`` emits for a 200 segment hit."""
+def _header_block(body_length: int, keep_alive: bool, checksum: str = "") -> bytes:
+    """The exact bytes ``_Response.encode`` emits for a 200 segment hit.
+
+    ``checksum`` is the body's :func:`~repro.core.storage.checksum_hex`;
+    segment responses always carry it (the client's end-to-end integrity
+    check), other 200s leave it empty and emit no header.
+    """
+    checksum_line = f"X-Checksum: {checksum}\r\n" if checksum else ""
     return (
         "HTTP/1.1 200 OK\r\n"
         "Content-Type: application/octet-stream\r\n"
         f"Content-Length: {body_length}\r\n"
+        f"{checksum_line}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
     ).encode("ascii")
@@ -68,8 +76,12 @@ class PinnedSegment:
         self.path = path
         self.body = bytes(body)  # no-copy when already bytes
         self._view = memoryview(self.body)
-        self._keep = (_header_block(len(self.body), True), self._view)
-        self._close = (_header_block(len(self.body), False), self._view)
+        # The checksum is frozen with the header block: one hash at pin
+        # time, zero per-hit cost, and the wire stays byte-identical to
+        # the cold path (which hashes the same body per response).
+        checksum = checksum_hex(self.body)
+        self._keep = (_header_block(len(self.body), True, checksum), self._view)
+        self._close = (_header_block(len(self.body), False, checksum), self._view)
         self.hits = 0
 
     @property

@@ -86,6 +86,7 @@ from repro.core.errors import (
     TransientSegmentError,
     VisualCloudError,
 )
+from repro.core.storage import checksum_hex
 from repro.obs import MetricsRegistry, merge_snapshots
 from repro.serve.hotset import HotSet
 from repro.serve.placement import ShardMap
@@ -120,6 +121,12 @@ class ServerConfig:
     peers: tuple[tuple[str, str], ...] = ()  # (node_id, base_url) sibling addresses
     peer_timeout: float = 5.0  # seconds per peer segment fetch
     peer_cache_bytes: int = 8 * 1024 * 1024  # peer-fetched payload cache; 0 disables
+    # When a local owned read fails *repairably* (index entry present,
+    # bytes missing/torn/corrupt) and the shard map holds rf >= 2, fetch
+    # the segment from a peer owner, verify it against the index
+    # checksum, atomically rewrite the local file, and serve the request
+    # — checksum-triggered peer read-repair. Off = report 409 instead.
+    read_repair: bool = True
 
     def __post_init__(self) -> None:
         if self.read_workers < 1:
@@ -199,6 +206,7 @@ class _Response:
     content_type: str = "application/octet-stream"
     error: str = ""  # exception class name, sent as X-Error
     retry_after: float | None = None  # seconds, sent as Retry-After
+    checksum: str = ""  # body content checksum (hex), sent as X-Checksum
 
     @property
     def body_length(self) -> int:
@@ -210,8 +218,12 @@ class _Response:
             f"HTTP/1.1 {self.status} {reason}",
             f"Content-Type: {self.content_type}",
             f"Content-Length: {len(self.body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if self.checksum:
+            # Before Connection, matching hotset._header_block exactly:
+            # a pin hit and a cold read must be wire-identical.
+            head.append(f"X-Checksum: {self.checksum}")
+        head.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
         if self.error:
             head.append(f"X-Error: {self.error}")
         if self.retry_after is not None:
@@ -393,6 +405,18 @@ class SegmentServer:
         self._control_applies = self.metrics.counter(
             "serve.control_applies", "control plans (or slices) applied"
         ).labels()
+        # Read-repair accounting (storage.repair_success is incremented
+        # by StorageManager.repair_segment itself, so scrubs count too).
+        self._repair_attempts = self.metrics.counter(
+            "storage.repair_attempts", "peer read-repairs attempted"
+        ).labels()
+        self._repair_failed = self.metrics.counter(
+            "storage.repair_failed", "peer read-repairs that found no intact copy"
+        ).labels()
+        # Drop coherence: registered against the storage manager while
+        # the server runs, so dropping a video also drops its pinned wire
+        # buffers and peer-cache entries (see _on_storage_drop).
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -406,6 +430,10 @@ class SegmentServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self._drain = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        add_listener = getattr(self.storage, "add_drop_listener", None)
+        if add_listener is not None:
+            add_listener(self._on_storage_drop)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.read_workers, thread_name_prefix="serve-read"
         )
@@ -558,9 +586,69 @@ class SegmentServer:
         self._peer_fallback_local.inc()
         return data
 
+    def _read_repair(
+        self, name: str, key: SegmentKey, owners, cause: SegmentNotFoundError
+    ) -> bytes:
+        """Heal a locally-failed owned read from a peer owner (blocking;
+        runs on the read executor).
+
+        Unlike :meth:`_fetch_from_owners`, a peer 404 is *not*
+        authoritative here — our own index proves the segment exists, a
+        peer without it has its own damage — and local storage is never a
+        fallback (the local copy is the broken one). Every candidate copy
+        must pass the index checksum before it touches disk, so a peer
+        serving corrupt bytes can neither be served nor written.
+        """
+        self._repair_attempts.inc()
+        for node in owners:
+            if node == self.node_id:
+                continue
+            backend = self._peer_backend(node)
+            if backend is None:
+                continue
+            try:
+                data = backend.fetch_segment_key(name, key)
+            except (SegmentNotFoundError, TransientSegmentError):
+                self._peer_errors.inc()
+                continue
+            self._peer_fetches.inc()
+            self._peer_bytes.inc(len(data))
+            try:
+                # Verifies against the index entry, atomically rewrites
+                # the local file, and invalidates the buffer pool entry.
+                self.storage.repair_segment(
+                    name, key.window, key.tile, key.quality, data
+                )
+            except SegmentNotFoundError:
+                continue  # peer copy corrupt too (or raced a drop)
+            return data
+        self._repair_failed.inc()
+        raise cause
+
+    def _on_storage_drop(self, name: str) -> None:
+        """Storage drop listener: invalidate every derived copy of the
+        dropped video's bytes. Runs on the dropping thread, so the hot
+        set (loop-only by contract) is touched via the loop."""
+        loop = self._loop
+
+        def invalidate() -> None:
+            self.hot.unpin_prefix(f"/segment/{name}/")
+            if self._peer_cache is not None:
+                self._peer_cache.invalidate_prefix(name)
+
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(invalidate)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
     async def stop(self) -> None:
         """Drain and shut down: no new connections, queued responses
         flush within ``drain_timeout``, stragglers are cancelled."""
+        remove_listener = getattr(self.storage, "remove_drop_listener", None)
+        if remove_listener is not None:
+            remove_listener(self._on_storage_drop)
         if self._server is None:
             return
         self._server.close()
@@ -611,7 +699,19 @@ class SegmentServer:
             size = manifest.segment_sizes[key]
             if self.hot.bytes_pinned + size > self.hot.budget_bytes:
                 continue  # full for this size; a smaller segment may still fit
-            data = self.storage.read_segment(name, key.window, key.tile, key.quality)
+            try:
+                data = self.storage.read_segment(
+                    name, key.window, key.tile, key.quality
+                )
+            except SegmentNotFoundError:
+                # Missing or checksum-failed on disk: never pin bytes that
+                # did not verify — the request path will repair (or 409)
+                # this segment; prewarm just moves on.
+                self.metrics.counter(
+                    "serve.prewarm_skipped",
+                    "prewarm reads skipped (missing or corrupt on disk)",
+                ).inc(video=name)
+                continue
             if self.hot.pin(f"/segment/{name}/{key.to_path()}", data):
                 pinned += 1
         return pinned
@@ -1022,14 +1122,29 @@ class SegmentServer:
             # an artefact of partitioning, never an authoritative answer).
             data = await self._offload(lambda: self._peer_read(name, key, owners))
         else:
-            data = await self._offload(
-                lambda: self.storage.read_segment(
-                    name, key.window, key.tile, key.quality
+            try:
+                data = await self._offload(
+                    lambda: self.storage.read_segment(
+                        name, key.window, key.tile, key.quality
+                    )
                 )
-            )
+            except SegmentNotFoundError as error:
+                # Repairable = the index has the entry, only the local
+                # bytes failed. With rf >= 2 a peer owner holds an intact
+                # copy: heal the local file and serve the request.
+                if not (
+                    self.config.read_repair
+                    and getattr(error, "repairable", False)
+                    and owners is not None
+                    and len(owners) > 1
+                ):
+                    raise
+                data = await self._offload(
+                    lambda: self._read_repair(name, key, owners, error)
+                )
         if self.hot.enabled:
             self.hot.record(target, data)
-        return _Response(200, data)
+        return _Response(200, data, checksum=checksum_hex(data))
 
     async def _offload(self, call):
         """Run a blocking storage call on the thread pool, bounded by the

@@ -1,0 +1,384 @@
+"""Durability and self-healing: crash-consistent commits, end-to-end
+checksums, peer read-repair.
+
+Four contracts pinned here:
+
+* **Checksum soundness** — ``segment_checksum`` detects every labelled
+  corruption in the chaos corpus and never flags intact bytes.
+* **Crash consistency** — a process SIGKILLed at *any* seeded write
+  point mid-ingest leaves either no visible version (crash before the
+  metadata publish) or a complete, adoptable one (crash between metadata
+  and marker); ``fsck --repair`` restores a clean catalog either way,
+  and re-ingest then succeeds.
+* **Drop coherence** — dropping a video also drops its pinned wire
+  buffers on an attached server, so a dropped-then-recreated video never
+  serves stale bytes.
+* **Read-repair** — with rf>=2, a segment corrupt on one node's disk is
+  served byte-identical via checksum-triggered peer fetch, and the local
+  file is atomically rewritten to the ingest bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.corrupt import segment_corruption_corpus
+from repro.core.errors import CatalogError, SegmentCorruptError
+from repro.core.storage import StorageManager, checksum_hex, segment_checksum
+from repro.obs import MetricsRegistry
+from repro.serve.client import HttpSegmentClient
+from repro.serve.placement import ShardMap, materialize_shards
+from repro.serve.server import ServerConfig, start_server
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestChecksumSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=512), seed=st.integers(0, 2**16))
+    def test_every_labelled_corruption_is_detected(self, data, seed):
+        reference = segment_checksum(data)
+        for label, payload in segment_corruption_corpus(data, seed=seed):
+            if payload == data:
+                continue  # truncation at the full length is a no-op
+            assert segment_checksum(payload) != reference, label
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=512))
+    def test_intact_bytes_always_verify(self, data):
+        assert segment_checksum(data) == segment_checksum(bytes(data))
+        assert segment_checksum(data) != 0  # 0 stays the "unknown" sentinel
+        assert checksum_hex(data) == format(segment_checksum(data), "08x")
+
+    def test_stored_segment_corpus_detected_by_the_read_path(self, session_db):
+        storage = session_db.storage
+        meta = storage.meta("clip")
+        (gop, tile, quality), entry = sorted(
+            meta.entries.items(), key=lambda item: str(item[0])
+        )[0]
+        data = storage.read_segment("clip", gop, tile, quality)
+        intact = storage.verify_segment_bytes("clip", gop, tile, quality, data)
+        assert intact.checksum == entry.checksum != 0
+        for label, payload in segment_corruption_corpus(data, seed=11):
+            if payload == data:
+                continue
+            with pytest.raises(SegmentCorruptError):
+                storage.verify_segment_bytes("clip", gop, tile, quality, payload)
+
+
+def _crashing_ingest(root: Path, crash_after: int) -> subprocess.CompletedProcess:
+    """Run one ingest in a subprocess that SIGKILLs itself at the
+    ``crash_after``-th durable publish (segments, metadata, marker)."""
+    script = (
+        "from pathlib import Path\n"
+        "from repro import IngestConfig, Quality, TileGrid\n"
+        "from repro.core.server import VisualCloud\n"
+        "from repro.workloads.videos import synthetic_video\n"
+        f"db = VisualCloud(Path({str(root)!r}))\n"
+        "frames = synthetic_video('venice', width=64, height=32, fps=4.0,\n"
+        "                         duration=2.0, seed=5)\n"
+        "config = IngestConfig(grid=TileGrid(2, 2),\n"
+        "                      qualities=(Quality.HIGH, Quality.LOW),\n"
+        "                      gop_frames=4, fps=4.0, workers=1)\n"
+        "db.ingest('clip', frames, config)\n"
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC if not existing else SRC + os.pathsep + existing
+    env["REPRO_CRASH_AFTER_WRITES"] = str(crash_after)
+    return subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, timeout=120
+    )
+
+
+class TestCrashConsistency:
+    """SIGKILL mid-ingest: 2 GOPs x 4 tiles x 2 rungs = 16 segment
+    publishes, then metadata (#17), then the marker (#18)."""
+
+    @pytest.mark.parametrize("crash_after", [1, 5, 17])
+    def test_crash_before_metadata_leaves_nothing_visible(self, tmp_path, crash_after):
+        result = _crashing_ingest(tmp_path, crash_after)
+        assert result.returncode in (-9, 137), result.stderr.decode()
+
+        storage = StorageManager(tmp_path)
+        with pytest.raises(CatalogError, match="no committed versions"):
+            storage.catalog.versions("clip")
+
+        report = storage.fsck(repair=True)
+        assert report["dropped_videos"] == ["clip"]
+        assert storage.fsck()["clean"]
+
+        # The catalog is reusable: the same ingest now lands completely.
+        from repro import IngestConfig, Quality, TileGrid
+        from repro.workloads.videos import synthetic_video
+
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=2.0, seed=5
+        )
+        config = IngestConfig(
+            grid=TileGrid(2, 2),
+            qualities=(Quality.HIGH, Quality.LOW),
+            gop_frames=4,
+            fps=4.0,
+            workers=1,
+        )
+        meta = storage.ingest("clip", frames, config)
+        assert storage.catalog.versions("clip") == [1]
+        assert all(entry.checksum for entry in meta.entries.values())
+
+    def test_crash_before_marker_rolls_forward(self, tmp_path):
+        result = _crashing_ingest(tmp_path, crash_after=18)
+        assert result.returncode in (-9, 137), result.stderr.decode()
+
+        storage = StorageManager(tmp_path)
+        # Metadata landed after every segment, so the version is complete
+        # and visible even before recovery (roll-forward semantics) ...
+        assert storage.catalog.versions("clip") == [1]
+        data = storage.read_segment(
+            "clip", 0, (0, 0), storage.meta("clip").qualities[0]
+        )
+        assert data
+        # ... and fsck adopts it by writing the missing marker.
+        report = storage.fsck(repair=True)
+        assert report["adopted_versions"] == ["clip v1"]
+        assert storage.catalog.marker_path("clip", 1).exists()
+        assert storage.fsck()["clean"]
+
+
+class TestFsckRecovery:
+    def test_legacy_catalog_without_markers_is_adopted(self, db):
+        from repro import IngestConfig, Quality, TileGrid
+        from repro.workloads.videos import synthetic_video
+
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=2.0, seed=9
+        )
+        db.ingest(
+            "legacy",
+            frames,
+            IngestConfig(
+                grid=TileGrid(2, 2),
+                qualities=(Quality.HIGH, Quality.LOW),
+                gop_frames=4,
+                fps=4.0,
+            ),
+        )
+        marker = db.storage.catalog.marker_path("legacy", 1)
+        marker.unlink()  # what a pre-marker catalog looks like on disk
+
+        assert db.storage.catalog.versions("legacy") == [1]  # still served
+        report = db.storage.fsck(repair=True)
+        assert report["adopted_versions"] == ["legacy v1"]
+        assert marker.exists()
+        assert db.storage.fsck()["clean"]
+
+    def test_torn_metadata_is_rolled_back(self, db):
+        from repro import IngestConfig, Quality, TileGrid
+        from repro.workloads.videos import synthetic_video
+
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=2.0, seed=9
+        )
+        db.ingest(
+            "torn",
+            frames,
+            IngestConfig(
+                grid=TileGrid(2, 2),
+                qualities=(Quality.HIGH, Quality.LOW),
+                gop_frames=4,
+                fps=4.0,
+            ),
+        )
+        catalog = db.storage.catalog
+        catalog.marker_path("torn", 1).unlink()
+        path = catalog.metadata_path("torn", 1)
+        path.write_bytes(path.read_bytes()[:40])  # a torn, unparseable publish
+        db.storage._meta_cache.clear()
+
+        report = db.storage.fsck(repair=True)
+        assert report["dropped_videos"] == ["torn"]
+        assert not catalog.exists("torn")
+        assert db.storage.fsck()["clean"]
+
+
+class TestDropCoherence:
+    def _ingest(self, db, name, seed):
+        from repro import IngestConfig, Quality, TileGrid
+        from repro.workloads.videos import synthetic_video
+
+        frames = synthetic_video(
+            "venice", width=64, height=32, fps=4.0, duration=2.0, seed=seed
+        )
+        db.ingest(
+            name,
+            frames,
+            IngestConfig(
+                grid=TileGrid(2, 2),
+                qualities=(Quality.HIGH, Quality.LOW),
+                gop_frames=4,
+                fps=4.0,
+            ),
+        )
+
+    def test_drop_unpins_and_recreate_serves_fresh_bytes(self, db):
+        self._ingest(db, "vr", seed=7)
+        handle = start_server(
+            db.storage,
+            ServerConfig(
+                drain_timeout=2.0,
+                pin_budget_bytes=32 * 1024 * 1024,
+                pin_threshold=1,
+                prewarm=("vr",),
+            ),
+            registry=MetricsRegistry(),
+        )
+        try:
+            server = handle.server
+            assert len(server.hot) > 0
+
+            db.drop("vr")
+            deadline = time.monotonic() + 5.0
+            while len(server.hot) and time.monotonic() < deadline:
+                time.sleep(0.01)  # the unpin hops onto the event loop
+            assert len(server.hot) == 0
+
+            self._ingest(db, "vr", seed=21)  # different content, same name
+            manifest = db.storage.build_manifest("vr")
+            with HttpSegmentClient(handle.base_url) as client:
+                for key in manifest.segment_sizes:
+                    wire = client.fetch_segment("vr", key)
+                    disk = db.storage.read_segment(
+                        "vr", key.window, key.tile, key.quality
+                    )
+                    assert wire == disk, f"stale bytes for {key.to_path()}"
+        finally:
+            handle.stop()
+
+    def test_listener_is_removed_on_stop(self, db):
+        self._ingest(db, "vr", seed=7)
+        handle = start_server(db.storage, ServerConfig(), registry=MetricsRegistry())
+        assert db.storage._drop_listeners
+        handle.stop()
+        assert not db.storage._drop_listeners
+
+
+NODES = ("node-0", "node-1", "node-2")
+
+
+class TestReadRepair:
+    """A real 3-node rf=2 tier; node-0's copy of one segment bit-rots."""
+
+    @pytest.fixture()
+    def tier(self, session_db, tmp_path):
+        shard_map = ShardMap(nodes=NODES, replication_factor=2)
+        node_roots = {node: tmp_path / node for node in NODES}
+        materialize_shards(session_db.storage, node_roots, shard_map)
+        registries = {node: MetricsRegistry() for node in NODES}
+        storages = {
+            node: StorageManager(node_roots[node], registry=registries[node])
+            for node in NODES
+        }
+        handles = {
+            node: start_server(
+                storages[node],
+                ServerConfig(node_id=node, shard_map=shard_map, peer_timeout=2.0),
+                registry=registries[node],
+            )
+            for node in NODES
+        }
+        urls = {node: handles[node].base_url for node in NODES}
+        for handle in handles.values():
+            handle.update_shard_map(shard_map, urls)
+        yield {
+            "map": shard_map,
+            "storages": storages,
+            "registries": registries,
+            "handles": handles,
+            "urls": urls,
+        }
+        for handle in handles.values():
+            handle.stop()
+
+    def _rot(self, path: Path) -> bytes:
+        """Flip one mid-payload bit via replace (never through a hard link)."""
+        original = path.read_bytes()
+        damaged = bytearray(original)
+        damaged[len(damaged) // 2] ^= 0x08
+        rotted = path.with_name(path.name + ".rot")
+        rotted.write_bytes(bytes(damaged))
+        os.replace(rotted, path)
+        return original
+
+    def test_corrupt_local_segment_is_served_and_healed(self, session_db, tier):
+        manifest = session_db.storage.build_manifest("clip")
+        key = next(
+            key
+            for key in sorted(manifest.segment_sizes, key=lambda k: k.to_path())
+            if tier["map"].owns("node-0", "clip", key)
+        )
+        storage = tier["storages"]["node-0"]
+        meta = storage.meta("clip")
+        path = storage.catalog.segment_path(
+            "clip",
+            key.window,
+            key.tile,
+            key.quality,
+            meta.entries[(key.window, key.tile, key.quality)].file_version,
+        )
+        original = self._rot(path)
+        canonical = session_db.storage.read_segment(
+            "clip", key.window, key.tile, key.quality
+        )
+        assert original == canonical
+
+        with HttpSegmentClient(tier["urls"]["node-0"]) as client:
+            served = client.fetch_segment("clip", key)
+
+        assert served == canonical  # byte-identical despite local rot
+        assert path.read_bytes() == canonical  # the disk copy was healed
+        registry = tier["registries"]["node-0"]
+        assert registry.counter("storage.repair_attempts").total() == 1
+        assert registry.counter("storage.repair_success").total() == 1
+        assert registry.counter("storage.repair_failed").total() == 0
+
+    def test_repair_disabled_surfaces_the_corruption(self, session_db, tmp_path):
+        shard_map = ShardMap(nodes=NODES, replication_factor=2)
+        node_roots = {node: tmp_path / node for node in NODES}
+        materialize_shards(session_db.storage, node_roots, shard_map)
+        registry = MetricsRegistry()
+        storage = StorageManager(node_roots["node-0"], registry=registry)
+        handle = start_server(
+            storage,
+            ServerConfig(node_id="node-0", shard_map=shard_map, read_repair=False),
+            registry=registry,
+        )
+        try:
+            manifest = session_db.storage.build_manifest("clip")
+            key = next(
+                key
+                for key in sorted(manifest.segment_sizes, key=lambda k: k.to_path())
+                if shard_map.owns("node-0", "clip", key)
+            )
+            meta = storage.meta("clip")
+            path = storage.catalog.segment_path(
+                "clip",
+                key.window,
+                key.tile,
+                key.quality,
+                meta.entries[(key.window, key.tile, key.quality)].file_version,
+            )
+            self._rot(path)
+            with HttpSegmentClient(handle.base_url) as client:
+                with pytest.raises(SegmentCorruptError):
+                    client.fetch_segment("clip", key)
+            assert registry.counter("storage.repair_attempts").total() == 0
+        finally:
+            handle.stop()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.storage import checksum_hex
 from repro.serve.hotset import PinnedSegment, _header_block
 from repro.serve.server import _REASONS, _Precomputed, _Response
 
@@ -33,6 +34,7 @@ _responses = st.builds(
     retry_after=st.one_of(
         st.none(), st.floats(min_value=0.001, max_value=3600.0, allow_nan=False)
     ),
+    checksum=st.one_of(st.just(""), st.from_regex(r"[0-9a-f]{8}", fullmatch=True)),
 )
 
 
@@ -61,12 +63,13 @@ class TestPartsMatchEncode:
     @given(body=st.binary(max_size=4096), keep_alive=st.booleans())
     def test_segment_hit_shape_is_exact(self, body, keep_alive):
         """The exact response class the cold segment path emits."""
-        response = _Response(200, body)
+        response = _Response(200, body, checksum=checksum_hex(body))
         wire = b"".join(response.parts(keep_alive))
         assert wire == response.encode(keep_alive)
         connection = b"keep-alive" if keep_alive else b"close"
         assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
         assert b"Connection: " + connection + b"\r\n" in wire
+        assert ("X-Checksum: %s\r\n" % checksum_hex(body)).encode("ascii") in wire
         assert wire.endswith(body)
 
 
@@ -76,14 +79,19 @@ class TestPinnedSegmentWireIdentity:
     def test_pinned_bytes_equal_cold_path_bytes(self, body, keep_alive):
         """A pin hit and a cold read must be indistinguishable on the wire."""
         pinned = PinnedSegment("/segment/clip/0/0/0/high", body)
-        reference = _Response(200, body)
+        reference = _Response(200, body, checksum=checksum_hex(body))
         assert b"".join(pinned.parts(keep_alive)) == reference.encode(keep_alive)
 
     @given(length=st.integers(min_value=0, max_value=10**9), keep_alive=st.booleans())
     def test_header_block_matches_response_head(self, length, keep_alive):
         body = b"\0" * min(length, 4096)
-        reference = _Response(200, body)
-        assert _header_block(len(body), keep_alive) == reference._head(keep_alive)
+        checksum = checksum_hex(body)
+        bare = _Response(200, body)
+        assert _header_block(len(body), keep_alive) == bare._head(keep_alive)
+        stamped = _Response(200, body, checksum=checksum)
+        assert _header_block(len(body), keep_alive, checksum) == stamped._head(
+            keep_alive
+        )
 
     def test_pinned_body_is_shared_not_copied(self):
         body = b"payload" * 100
